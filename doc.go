@@ -1,0 +1,24 @@
+// Package repro reproduces "Processor Allocation for Optimistic
+// Parallelization of Irregular Programs" (Versaci & Pingali, SPAA'11
+// brief announcement; full version ICCSA'12) as a production-quality Go
+// library.
+//
+// The public surface lives in internal/core; the substrates are:
+//
+//   - internal/graph       — dynamic CC graphs, generators, greedy MIS
+//   - internal/analytic    — the §3 closed-form theory (Turán extension)
+//   - internal/sched       — the §2 round-based scheduler model
+//   - internal/control     — the §4 controllers (Algorithm 1 hybrid),
+//     smart start, model-based controller, baselines
+//   - internal/speculation — goroutine-based optimistic runtime, the
+//     ordered executor (§5), and the ForEach/Loop API
+//   - internal/workset     — work-set policies
+//   - internal/profile     — Lonestar-style parallelism profiles
+//   - internal/apps/...    — Delaunay refinement, Boruvka + ordered
+//     Kruskal, survey propagation, agglomerative clustering,
+//     preflow-push max flow, discrete-event simulation
+//
+// The benchmarks in bench_test.go regenerate every figure of the paper;
+// see EXPERIMENTS.md for paper-vs-measured results and DESIGN.md for the
+// per-experiment index and the validation-oracle table.
+package repro

@@ -1,0 +1,251 @@
+// Package analytic implements the closed-form theory of §3 of the paper:
+// Turán's bound on maximal independent sets (Thm. 1), the exact expected
+// induced-MIS size on the worst-case clique-union graphs K^n_d (Thm. 3),
+// its asymptotic approximations (Cor. 2 and Cor. 3), the initial slope of
+// the conflict-ratio function (Prop. 2), the degree-sequence functional
+// b_m(G) from the proof of Thm. 2 (Eq. 19–21), and finite-difference
+// utilities (Eq. 2).
+//
+// All functions are deterministic, allocation-light, and independent of
+// the simulation packages, so they can serve as oracles in tests of the
+// Monte Carlo machinery.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// TuranBound returns n/(d+1), the Turán lower bound (Thm. 1, strong form)
+// on the expected size of a greedily built maximal independent set in a
+// graph with n nodes and average degree d.
+func TuranBound(n int, d float64) float64 {
+	return float64(n) / (d + 1)
+}
+
+// ProbComponentMissed returns the probability that a fixed set of c
+// special nodes is completely avoided when m nodes are drawn uniformly
+// without replacement from n — the hypergeometric identity of Eq. 26:
+//
+//	∏_{i=0}^{m-1} (n-c-i)/(n-i).
+func ProbComponentMissed(n, c, m int) float64 {
+	if c < 0 || m < 0 || n < 0 || c > n || m > n {
+		panic(fmt.Sprintf("analytic: ProbComponentMissed bad args n=%d c=%d m=%d", n, c, m))
+	}
+	if m > n-c {
+		return 0
+	}
+	p := 1.0
+	for i := 0; i < m; i++ {
+		p *= float64(n-c-i) / float64(n-i)
+	}
+	return p
+}
+
+// EMCliqueUnion returns the exact EM_m(K^n_d) of Thm. 3: the expected
+// size of a maximal independent set of the subgraph induced by m random
+// nodes in the disjoint union of s = n/(d+1) cliques of size d+1,
+//
+//	EM_m(K^n_d) = s · (1 − ∏_{i=1}^{m} (n−d−i)/(n+1−i)).
+//
+// It panics unless (d+1) divides n and 0 <= m <= n.
+func EMCliqueUnion(n, d, m int) float64 {
+	if d < 0 || n <= 0 || n%(d+1) != 0 {
+		panic(fmt.Sprintf("analytic: EMCliqueUnion requires (d+1)|n, got n=%d d=%d", n, d))
+	}
+	if m < 0 || m > n {
+		panic(fmt.Sprintf("analytic: EMCliqueUnion m=%d out of range", m))
+	}
+	s := float64(n / (d + 1))
+	return s * (1 - ProbComponentMissed(n, d+1, m))
+}
+
+// EMCliqueUnionGeneral extends the Thm. 3 formula to n not divisible by
+// d+1 by letting the number of cliques s = n/(d+1) be fractional. For
+// divisible n it coincides with EMCliqueUnion; otherwise it is the
+// natural smooth interpolation used to plot worst-case curves at the
+// paper's parameters (e.g. n=2000, d=16 in Fig. 2).
+func EMCliqueUnionGeneral(n, d, m int) float64 {
+	if d < 0 || n <= 0 {
+		panic(fmt.Sprintf("analytic: EMCliqueUnionGeneral bad args n=%d d=%d", n, d))
+	}
+	if m < 0 || m > n {
+		panic(fmt.Sprintf("analytic: EMCliqueUnionGeneral m=%d out of range", m))
+	}
+	s := float64(n) / float64(d+1)
+	return s * (1 - ProbComponentMissed(n, d+1, m))
+}
+
+// WorstCaseConflictRatio returns the Thm. 3 upper bound on the conflict
+// ratio r̄(m) over all graphs with n nodes and average degree d:
+//
+//	r̄(m) ≤ 1 − EM_m(K^n_d)/m.
+//
+// For m = 0 it returns 0 by convention. Non-divisible n uses the
+// fractional-s interpolation of EMCliqueUnionGeneral.
+func WorstCaseConflictRatio(n, d, m int) float64 {
+	if m == 0 {
+		return 0
+	}
+	return 1 - EMCliqueUnionGeneral(n, d, m)/float64(m)
+}
+
+// Cor2ConflictBound returns the Cor. 2 approximation of the worst-case
+// conflict-ratio bound for large n and m:
+//
+//	r̄(m) ≤ 1 − n/(m(d+1)) · [1 − (1 − m/n)^{d+1}].
+func Cor2ConflictBound(n, d float64, m float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return 1 - n/(m*(d+1))*(1-math.Pow(1-m/n, d+1))
+}
+
+// Cor3ConflictBound returns the Cor. 3 bound for m = α·n/(d+1):
+//
+//	r̄ ≤ 1 − (1/α)[1 − (1 − α/(d+1))^{d+1}]  ≤  1 − (1 − e^{−α})/α.
+//
+// The finite-d form is returned; use Cor3Limit for the d→∞ envelope.
+func Cor3ConflictBound(alpha, d float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	return 1 - (1-math.Pow(1-alpha/(d+1), d+1))/alpha
+}
+
+// Cor3Limit returns the degree-independent envelope 1 − (1−e^{−α})/α.
+func Cor3Limit(alpha float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	return 1 - (1-math.Exp(-alpha))/alpha
+}
+
+// InitialSlope returns Δr̄(1) = d/(2(n−1)) (Prop. 2): the first finite
+// difference of the conflict ratio at m = 1 for any graph with n nodes
+// and average degree d.
+func InitialSlope(n int, d float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	return d / (2 * float64(n-1))
+}
+
+// BFromDegrees returns b_m(G) (Eq. 20): the expected number of active
+// nodes with no earlier neighbor in a random length-m permutation prefix,
+// computed exactly from the degree sequence:
+//
+//	b_m(G) = (1/n) Σ_v Σ_{j=1}^{m} ∏_{i=1}^{j-1} (n−i−d_v)/(n−i).
+//
+// It runs in O(m · #distinct degrees). b_m(G) ≤ EM_m(G) for every graph,
+// with equality on unions of cliques (proof of Thm. 2).
+func BFromDegrees(degrees []int, m int) float64 {
+	n := len(degrees)
+	if m < 0 || m > n {
+		panic(fmt.Sprintf("analytic: BFromDegrees m=%d out of range [0,%d]", m, n))
+	}
+	counts := map[int]int{}
+	for _, d := range degrees {
+		if d < 0 || d >= n {
+			panic(fmt.Sprintf("analytic: impossible degree %d with n=%d", d, n))
+		}
+		counts[d]++
+	}
+	total := 0.0
+	for d, c := range counts {
+		// inner = Σ_{j=1..m} P_{j-1}, with P_0 = 1 and
+		// P_j = P_{j-1} · (n-j-d)/(n-j).
+		inner := 0.0
+		p := 1.0
+		for j := 1; j <= m; j++ {
+			inner += p
+			p *= float64(n-j-d) / float64(n-j)
+			if p < 0 {
+				p = 0 // degree too high to survive further prefixes
+			}
+		}
+		total += float64(c) * inner
+	}
+	return total / float64(n)
+}
+
+// BLowerConflictBound converts b_m into an upper bound on the expected
+// committed work and hence a *lower* bound on nothing — note direction:
+// since b_m(G) ≤ EM_m(G), the quantity 1 − b_m(G)/m is an upper bound on
+// the conflict ratio of G computable from its degree sequence alone.
+func BLowerConflictBound(degrees []int, m int) float64 {
+	if m == 0 {
+		return 0
+	}
+	return 1 - BFromDegrees(degrees, m)/float64(m)
+}
+
+// Example1Expected returns the exact expected number of committed nodes
+// when m nodes are drawn uniformly from the Example 1 graph
+// K_c ∪ D_k (a clique of size c plus k isolated nodes):
+//
+//	E[committed] = (1 − ProbComponentMissed(n, c, m)) + m·k/n.
+//
+// The paper instantiates c = n², k = n, m = n+1 and observes the value
+// is ≈ 2 even though every maximal independent set has size n+1.
+func Example1Expected(c, k, m int) float64 {
+	n := c + k
+	if m < 0 || m > n {
+		panic("analytic: Example1Expected m out of range")
+	}
+	hitClique := 1 - ProbComponentMissed(n, c, m)
+	isolated := float64(m) * float64(k) / float64(n)
+	return hitClique + isolated
+}
+
+// FiniteDiff returns the i-th forward finite difference of f at k
+// (Eq. 2): Δ⁰f = f, Δⁱf(k) = Δ^{i−1}f(k+1) − Δ^{i−1}f(k).
+func FiniteDiff(f func(int) float64, order, k int) float64 {
+	if order < 0 {
+		panic("analytic: negative finite-difference order")
+	}
+	if order == 0 {
+		return f(k)
+	}
+	// Use the binomial expansion Δⁱf(k) = Σ_j (-1)^{i-j} C(i,j) f(k+j),
+	// which avoids recursion depth and recomputation.
+	sum := 0.0
+	sign := 1.0
+	if order%2 == 1 {
+		sign = -1
+	}
+	c := 1.0 // C(order, 0)
+	for j := 0; j <= order; j++ {
+		sum += sign * c * f(k+j)
+		sign = -sign
+		c = c * float64(order-j) / float64(j+1)
+	}
+	return sum
+}
+
+// Binomial returns C(n, k) as a float64, 0 for invalid arguments.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// SuggestedInitialM returns the "smarter" initial processor count the
+// paper derives from Cor. 3 (§4): with an estimate of the average degree
+// d, running m = n/(2(d+1)) processors (α = 1/2) guarantees a conflict
+// ratio of at most ≈21.3%.
+func SuggestedInitialM(n int, d float64) int {
+	m := int(float64(n) / (2 * (d + 1)))
+	if m < 2 {
+		m = 2
+	}
+	return m
+}

@@ -1,0 +1,174 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTuranBoundValues(t *testing.T) {
+	if got := TuranBound(100, 0); got != 100 {
+		t.Errorf("disconnected graph: %v", got)
+	}
+	if got := TuranBound(100, 99); got != 1 {
+		t.Errorf("complete graph: %v", got)
+	}
+	if got := TuranBound(2000, 16); math.Abs(got-2000.0/17) > 1e-12 {
+		t.Errorf("paper parameters: %v", got)
+	}
+}
+
+func TestBLowerConflictBound(t *testing.T) {
+	// Regular degree sequence of a clique union: the bound is exact.
+	const n, d = 60, 5
+	degrees := make([]int, n)
+	for i := range degrees {
+		degrees[i] = d
+	}
+	for _, m := range []int{1, 10, 30, 60} {
+		got := BLowerConflictBound(degrees, m)
+		want := WorstCaseConflictRatio(n, d, m)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("m=%d: %v vs %v", m, got, want)
+		}
+	}
+	if BLowerConflictBound(degrees, 0) != 0 {
+		t.Error("m=0 convention")
+	}
+}
+
+func TestProbComponentMissedPanics(t *testing.T) {
+	for _, tc := range [][3]int{{10, -1, 3}, {10, 11, 3}, {10, 2, 11}, {10, 2, -1}} {
+		tc := tc
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("args %v did not panic", tc)
+				}
+			}()
+			ProbComponentMissed(tc[0], tc[1], tc[2])
+		}()
+	}
+}
+
+func TestEMCliqueUnionPanics(t *testing.T) {
+	cases := []func(){
+		func() { EMCliqueUnion(10, 3, 2) },         // 4 does not divide 10
+		func() { EMCliqueUnion(12, 3, -1) },        // m < 0
+		func() { EMCliqueUnion(12, 3, 13) },        // m > n
+		func() { EMCliqueUnionGeneral(0, 3, 0) },   // n <= 0
+		func() { EMCliqueUnionGeneral(10, -1, 0) }, // d < 0
+		func() { EMCliqueUnionGeneral(10, 2, -1) }, // m out of range
+		func() { BFromDegrees([]int{5, 5, 5}, 2) }, // impossible degree
+		func() { BFromDegrees([]int{1, 1}, 3) },    // m > n
+		func() { Example1Expected(4, 2, 100) },     // m > n
+		func() { FiniteDiff(func(int) float64 { return 0 }, -1, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCor2BoundaryValues(t *testing.T) {
+	if got := Cor2ConflictBound(2000, 16, 0); got != 0 {
+		t.Errorf("m=0: %v", got)
+	}
+	if got := Cor3ConflictBound(0, 16); got != 0 {
+		t.Errorf("alpha=0: %v", got)
+	}
+	if got := Cor3Limit(0); got != 0 {
+		t.Errorf("alpha=0 limit: %v", got)
+	}
+	if got := Cor3Limit(-1); got != 0 {
+		t.Errorf("negative alpha: %v", got)
+	}
+	if got := InitialSlope(1, 5); got != 0 {
+		t.Errorf("n=1 slope: %v", got)
+	}
+}
+
+// Property: the Thm. 3 bound is monotone in d for fixed n, m (denser
+// worst cases conflict more).
+func TestWorstCaseMonotoneInDegree(t *testing.T) {
+	const n = 240
+	for _, m := range []int{5, 40, 120, 240} {
+		prev := -1.0
+		for _, d := range []int{0, 1, 2, 3, 5, 7, 11, 15, 19, 23} {
+			if n%(d+1) != 0 {
+				continue
+			}
+			cur := WorstCaseConflictRatio(n, d, m)
+			if cur < prev-1e-12 {
+				t.Errorf("m=%d: bound decreased from d change to %d", m, d)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Property: b_m is non-decreasing in m for any degree sequence.
+func TestBFromDegreesMonotoneInM(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 20 + int(seed)%20
+		degrees := make([]int, n)
+		for i := range degrees {
+			degrees[i] = (i * 7) % (n - 1)
+		}
+		prev := 0.0
+		for m := 0; m <= n; m++ {
+			cur := BFromDegrees(degrees, m)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hypergeometric complement — the probability of hitting a
+// component is monotone in both c and m.
+func TestProbComponentMissedMonotone(t *testing.T) {
+	const n = 40
+	for c := 0; c <= n; c += 5 {
+		prev := 1.1
+		for m := 0; m <= n; m += 4 {
+			cur := ProbComponentMissed(n, c, m)
+			if cur > prev+1e-12 {
+				t.Fatalf("missed prob increased at c=%d m=%d", c, m)
+			}
+			prev = cur
+		}
+	}
+	for m := 0; m <= n; m += 5 {
+		prev := 1.1
+		for c := 0; c <= n; c += 4 {
+			cur := ProbComponentMissed(n, c, m)
+			if cur > prev+1e-12 {
+				t.Fatalf("missed prob increased at m=%d c=%d", m, c)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestSuggestedInitialMMonotoneInN(t *testing.T) {
+	prev := 0
+	for n := 10; n <= 10000; n += 500 {
+		cur := SuggestedInitialM(n, 16)
+		if cur < prev {
+			t.Fatalf("suggested m decreased at n=%d", n)
+		}
+		prev = cur
+	}
+}

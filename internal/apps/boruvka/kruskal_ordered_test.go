@@ -1,0 +1,92 @@
+package boruvka
+
+import (
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/rng"
+)
+
+// The ordered speculative Kruskal must produce the *identical* edge
+// sequence as sequential Kruskal — same edges in the same order — not
+// merely an equal-weight forest.
+func TestOrderedKruskalIdenticalToSequential(t *testing.T) {
+	r := rng.New(1)
+	g := NewRandomConnected(r, 200, 500)
+	oracle := Kruskal(g)
+
+	for _, m := range []int{1, 8, 64} {
+		k := NewOrderedKruskal(g)
+		rounds := 0
+		for k.Pending() > 0 {
+			k.Executor().Round(m)
+			rounds++
+			if rounds > 1000000 {
+				t.Fatalf("m=%d: did not drain", m)
+			}
+		}
+		res := k.Result()
+		if len(res.Edges) != len(oracle.Edges) {
+			t.Fatalf("m=%d: %d edges vs oracle %d", m, len(res.Edges), len(oracle.Edges))
+		}
+		for i := range res.Edges {
+			if res.Edges[i].ID != oracle.Edges[i].ID {
+				t.Fatalf("m=%d: edge %d is %d, oracle %d",
+					m, i, res.Edges[i].ID, oracle.Edges[i].ID)
+			}
+		}
+	}
+}
+
+func TestOrderedKruskalAdaptive(t *testing.T) {
+	r := rng.New(2)
+	g := NewRandomConnected(r, 400, 1200)
+	k := NewOrderedKruskal(g)
+	ctrl := control.NewHybrid(control.DefaultHybridConfig(0.25))
+	res := k.Run(ctrl, 1000000)
+	if k.Pending() != 0 {
+		t.Fatal("did not drain")
+	}
+	if err := Verify(g, k.Result()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	// Dense edge list over few vertices: speculation must sometimes
+	// waste work (conflicts or premature executions).
+	e := k.Executor()
+	if e.TotalConflicts+e.TotalPremature == 0 {
+		t.Error("no wasted work at adaptive m on a dense graph — suspicious")
+	}
+}
+
+// Ordered Kruskal exposes more parallelism than DES but less than the
+// unordered Boruvka — sanity-check the ordering by overall waste.
+func TestOrderedKruskalWasteExceedsUnordered(t *testing.T) {
+	r := rng.New(3)
+	g := NewRandomConnected(r, 300, 900)
+
+	k := NewOrderedKruskal(g)
+	for k.Pending() > 0 {
+		k.Executor().Round(16)
+	}
+	orderedWaste := k.Executor().OverallConflictRatio()
+
+	s := NewSpeculativeMSF(g, func(n int) int { return r.Intn(n) })
+	for s.Pending() > 0 {
+		s.Executor().Round(16)
+	}
+	unorderedWaste := s.Executor().OverallConflictRatio()
+
+	if orderedWaste <= unorderedWaste {
+		t.Logf("ordered waste %.3f vs unordered %.3f (expected ordered > unordered; "+
+			"allowed to flip on small instances)", orderedWaste, unorderedWaste)
+	}
+	if err := Verify(g, k.Result()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, s.Result()); err != nil {
+		t.Fatal(err)
+	}
+}

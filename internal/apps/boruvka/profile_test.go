@@ -1,0 +1,69 @@
+package boruvka
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestComponentConflictGraph(t *testing.T) {
+	// Path 0-1-2-3: initially 4 singleton components, conflicts mirror
+	// the path.
+	g := &WGraph{N: 4, Edges: []Edge{
+		{U: 0, V: 1, W: 1, ID: 0},
+		{U: 1, V: 2, W: 2, ID: 1},
+		{U: 2, V: 3, W: 3, ID: 2},
+	}}
+	uf := NewUnionFind(4)
+	cc, _ := ComponentConflictGraph(g, uf)
+	if cc.NumNodes() != 4 || cc.NumEdges() != 3 {
+		t.Fatalf("cc graph %d/%d, want 4/3", cc.NumNodes(), cc.NumEdges())
+	}
+	// After merging 0-1 the component graph contracts.
+	uf.Union(0, 1)
+	cc, _ = ComponentConflictGraph(g, uf)
+	if cc.NumNodes() != 3 || cc.NumEdges() != 2 {
+		t.Fatalf("after union: %d/%d, want 3/2", cc.NumNodes(), cc.NumEdges())
+	}
+	// Parallel edges between the same component pair collapse.
+	g2 := &WGraph{N: 3, Edges: []Edge{
+		{U: 0, V: 1, W: 1, ID: 0},
+		{U: 0, V: 1, W: 2, ID: 1},
+	}}
+	cc2, _ := ComponentConflictGraph(g2, NewUnionFind(3))
+	if cc2.NumEdges() != 1 {
+		t.Fatalf("duplicate component edge not collapsed: %d", cc2.NumEdges())
+	}
+}
+
+func TestParallelismProfileShrinksWithPhases(t *testing.T) {
+	r := rng.New(1)
+	g := NewRandomConnected(r, 400, 800)
+	pts := ParallelismProfile(g, r, 30)
+	if len(pts) == 0 {
+		t.Fatal("empty profile")
+	}
+	// First phase: hundreds of singleton components, large parallelism.
+	if pts[0].Components != 400 {
+		t.Fatalf("first phase components %d", pts[0].Components)
+	}
+	if pts[0].Parallelism < 50 {
+		t.Fatalf("initial parallelism %v suspiciously low", pts[0].Parallelism)
+	}
+	// Components strictly decrease phase over phase.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Components >= pts[i-1].Components {
+			t.Fatalf("components did not shrink at phase %d", i)
+		}
+	}
+	// Boruvka halves components per phase: ≤ log2(400)+1 ≈ 9 phases.
+	if len(pts) > 10 {
+		t.Fatalf("%d phases exceeds log bound", len(pts))
+	}
+	// Parallelism never exceeds components/1 (each merge involves 2).
+	for _, p := range pts {
+		if p.Parallelism > float64(p.Components) {
+			t.Fatalf("parallelism %v exceeds component count %d", p.Parallelism, p.Components)
+		}
+	}
+}

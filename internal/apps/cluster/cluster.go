@@ -1,0 +1,209 @@
+// Package cluster implements agglomerative (hierarchical) clustering
+// with the mutual-nearest-neighbor merge rule — the paper's fourth
+// motivating amorphous data-parallel workload (§1, citing Tan–Steinbach–
+// Kumar). Any two clusters that are each other's nearest neighbors can
+// merge; merges touching disjoint neighborhoods proceed in parallel,
+// merges sharing a cluster conflict.
+//
+// Cluster distance is centroid distance (with cluster size as the
+// deterministic tie-breaker), under which mutual-nearest-neighbor
+// merging yields a well-defined dendrogram.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Point is a 2D point.
+type Point struct{ X, Y float64 }
+
+// RandomPoints returns n uniform points in the unit square.
+func RandomPoints(r *rng.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	return pts
+}
+
+// Cluster is a live cluster: centroid and member count. ID identifies
+// the cluster in the dendrogram.
+type Cluster struct {
+	ID       int
+	Centroid Point
+	Size     int
+}
+
+// Merge is one dendrogram node: clusters A and B fused into Parent at
+// the given centroid distance.
+type Merge struct {
+	A, B, Parent int
+	Dist         float64
+}
+
+// Clustering is the shared mutable state of an agglomerative run.
+type Clustering struct {
+	clusters map[int]*Cluster
+	nextID   int
+	Merges   []Merge
+}
+
+// New builds the initial clustering: one singleton cluster per point.
+func New(pts []Point) *Clustering {
+	c := &Clustering{clusters: make(map[int]*Cluster, len(pts))}
+	for _, p := range pts {
+		c.clusters[c.nextID] = &Cluster{ID: c.nextID, Centroid: p, Size: 1}
+		c.nextID++
+	}
+	return c
+}
+
+// NumClusters returns the number of live clusters.
+func (c *Clustering) NumClusters() int { return len(c.clusters) }
+
+// Live returns the IDs of the live clusters (unspecified order).
+func (c *Clustering) Live() []int {
+	out := make([]int, 0, len(c.clusters))
+	for id := range c.clusters {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Get returns the live cluster with the given ID, or nil.
+func (c *Clustering) Get(id int) *Cluster { return c.clusters[id] }
+
+func dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// closer orders candidate neighbors by (distance², ID) so nearest
+// neighbors are unique.
+func closer(d1 float64, id1 int, d2 float64, id2 int) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return id1 < id2
+}
+
+// Nearest returns the nearest other live cluster to id (by centroid
+// distance, ties broken by ID) and the squared distance; ok is false if
+// id is the only cluster. Linear scan — correct for any state; the
+// speculative adapter uses a grid for the common case.
+func (c *Clustering) Nearest(id int) (int, float64, bool) {
+	self, ok := c.clusters[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: Nearest of dead cluster %d", id))
+	}
+	bestID, bestD := -1, math.Inf(1)
+	for oid, o := range c.clusters {
+		if oid == id {
+			continue
+		}
+		d := dist2(self.Centroid, o.Centroid)
+		if bestID < 0 || closer(d, oid, bestD, bestID) {
+			bestID, bestD = oid, d
+		}
+	}
+	if bestID < 0 {
+		return 0, 0, false
+	}
+	return bestID, bestD, ok
+}
+
+// MergePair fuses live clusters a and b into a new cluster (centroid =
+// weighted mean) and records the dendrogram node. It returns the new ID.
+func (c *Clustering) MergePair(a, b int) int {
+	ca, cb := c.clusters[a], c.clusters[b]
+	if ca == nil || cb == nil {
+		panic(fmt.Sprintf("cluster: merging dead cluster %d/%d", a, b))
+	}
+	n := ca.Size + cb.Size
+	merged := &Cluster{
+		ID: c.nextID,
+		Centroid: Point{
+			X: (ca.Centroid.X*float64(ca.Size) + cb.Centroid.X*float64(cb.Size)) / float64(n),
+			Y: (ca.Centroid.Y*float64(ca.Size) + cb.Centroid.Y*float64(cb.Size)) / float64(n),
+		},
+		Size: n,
+	}
+	c.nextID++
+	delete(c.clusters, a)
+	delete(c.clusters, b)
+	c.clusters[merged.ID] = merged
+	c.Merges = append(c.Merges, Merge{
+		A: a, B: b, Parent: merged.ID,
+		Dist: math.Sqrt(dist2(ca.Centroid, cb.Centroid)),
+	})
+	return merged.ID
+}
+
+// Sequential agglomerates until target clusters remain (or 1), merging a
+// mutual-nearest-neighbor pair per step, and returns the merge count.
+func (c *Clustering) Sequential(target int) int {
+	if target < 1 {
+		target = 1
+	}
+	merges := 0
+	for len(c.clusters) > target {
+		// Find any mutual nearest-neighbor pair (one always exists:
+		// follow the nearest-neighbor chain to a 2-cycle).
+		start := -1
+		for id := range c.clusters {
+			start = id
+			break
+		}
+		cur := start
+		prev := -1
+		for {
+			nxt, _, ok := c.Nearest(cur)
+			if !ok {
+				return merges
+			}
+			if nxt == prev {
+				// cur and prev are mutual nearest neighbors.
+				c.MergePair(prev, cur)
+				merges++
+				break
+			}
+			prev, cur = cur, nxt
+		}
+	}
+	return merges
+}
+
+// CheckDendrogram verifies structural sanity of the recorded merges:
+// every merge consumes two live IDs and produces a fresh one, and the
+// final live set matches the clustering state.
+func (c *Clustering) CheckDendrogram(initial int) error {
+	live := map[int]bool{}
+	for i := 0; i < initial; i++ {
+		live[i] = true
+	}
+	next := initial
+	for i, m := range c.Merges {
+		if !live[m.A] || !live[m.B] || m.A == m.B {
+			return fmt.Errorf("cluster: merge %d fuses non-live pair %d,%d", i, m.A, m.B)
+		}
+		if m.Parent != next {
+			return fmt.Errorf("cluster: merge %d parent %d, want %d", i, m.Parent, next)
+		}
+		delete(live, m.A)
+		delete(live, m.B)
+		live[m.Parent] = true
+		next++
+	}
+	if len(live) != len(c.clusters) {
+		return fmt.Errorf("cluster: %d live per dendrogram, %d in state", len(live), len(c.clusters))
+	}
+	for id := range c.clusters {
+		if !live[id] {
+			return fmt.Errorf("cluster: state has unexpected live cluster %d", id)
+		}
+	}
+	return nil
+}

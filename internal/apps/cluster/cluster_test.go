@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/rng"
+)
+
+func TestNewClustering(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {0, 1}}
+	c := New(pts)
+	if c.NumClusters() != 3 {
+		t.Fatalf("clusters = %d", c.NumClusters())
+	}
+	for _, id := range c.Live() {
+		cl := c.Get(id)
+		if cl.Size != 1 {
+			t.Fatalf("singleton size %d", cl.Size)
+		}
+	}
+}
+
+func TestNearestDeterministic(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {3, 0}}
+	c := New(pts)
+	n0, d0, ok := c.Nearest(0)
+	if !ok || n0 != 1 || math.Abs(d0-1) > 1e-12 {
+		t.Fatalf("nearest(0) = %d (%v)", n0, d0)
+	}
+	n2, _, _ := c.Nearest(2)
+	if n2 != 1 {
+		t.Fatalf("nearest(2) = %d", n2)
+	}
+}
+
+func TestNearestTieBreak(t *testing.T) {
+	// Points 1 and 2 are equidistant from 0: lower ID wins.
+	pts := []Point{{0, 0}, {1, 0}, {-1, 0}}
+	c := New(pts)
+	n, _, _ := c.Nearest(0)
+	if n != 1 {
+		t.Fatalf("tie-break picked %d, want 1", n)
+	}
+}
+
+func TestMergePairCentroidAndSize(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {10, 10}}
+	c := New(pts)
+	p := c.MergePair(0, 1)
+	m := c.Get(p)
+	if m == nil || m.Size != 2 {
+		t.Fatal("merged cluster wrong size")
+	}
+	if math.Abs(m.Centroid.X-1) > 1e-12 || m.Centroid.Y != 0 {
+		t.Fatalf("centroid %v", m.Centroid)
+	}
+	if c.Get(0) != nil || c.Get(1) != nil {
+		t.Fatal("children still live")
+	}
+	if len(c.Merges) != 1 || c.Merges[0].Dist != 2 {
+		t.Fatalf("merge record %+v", c.Merges)
+	}
+	// Weighted merge: {(0,0),(2,0)} centroid (1,0) size 2 with (10,10).
+	p2 := c.MergePair(p, 2)
+	m2 := c.Get(p2)
+	if math.Abs(m2.Centroid.X-4) > 1e-12 || math.Abs(m2.Centroid.Y-10.0/3) > 1e-12 {
+		t.Fatalf("weighted centroid %v", m2.Centroid)
+	}
+}
+
+func TestSequentialToOneCluster(t *testing.T) {
+	r := rng.New(1)
+	pts := RandomPoints(r, 100)
+	c := New(pts)
+	merges := c.Sequential(1)
+	if merges != 99 || c.NumClusters() != 1 {
+		t.Fatalf("merges=%d clusters=%d", merges, c.NumClusters())
+	}
+	if err := c.CheckDendrogram(100); err != nil {
+		t.Fatal(err)
+	}
+	root := c.Get(c.Live()[0])
+	if root.Size != 100 {
+		t.Fatalf("root size %d", root.Size)
+	}
+}
+
+func TestSequentialToTarget(t *testing.T) {
+	r := rng.New(2)
+	c := New(RandomPoints(r, 60))
+	c.Sequential(5)
+	if c.NumClusters() != 5 {
+		t.Fatalf("clusters = %d, want 5", c.NumClusters())
+	}
+	total := 0
+	for _, id := range c.Live() {
+		total += c.Get(id).Size
+	}
+	if total != 60 {
+		t.Fatalf("points conserved: %d", total)
+	}
+}
+
+func TestSpeculativeFixedM(t *testing.T) {
+	r := rng.New(3)
+	c := New(RandomPoints(r, 150))
+	s := NewSpeculative(c, 1, func(n int) int { return r.Intn(n) })
+	for rounds := 0; ; rounds++ {
+		if rounds > 100000 {
+			t.Fatal("did not drain")
+		}
+		if s.Pending() == 0 {
+			if c.NumClusters() <= 1 {
+				break
+			}
+			if s.Reseed() == 0 {
+				t.Fatal("stalled with no reseedable work")
+			}
+		}
+		s.Executor().Round(8)
+	}
+	if err := c.CheckDendrogram(150); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(c.Live()[0]).Size != 150 {
+		t.Fatal("root does not contain all points")
+	}
+}
+
+func TestSpeculativeAdaptive(t *testing.T) {
+	r := rng.New(4)
+	c := New(RandomPoints(r, 400))
+	s := NewSpeculative(c, 1, func(n int) int { return r.Intn(n) })
+	ctrl := control.NewHybrid(control.DefaultHybridConfig(0.25))
+	res := s.Run(ctrl, 1000000)
+	if c.NumClusters() != 1 {
+		t.Fatalf("clusters = %d", c.NumClusters())
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds")
+	}
+	if err := c.CheckDendrogram(400); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executor().TotalAborted == 0 {
+		t.Error("merges never conflicted — locking suspicious")
+	}
+}
+
+func TestSpeculativeRespectsTarget(t *testing.T) {
+	r := rng.New(5)
+	c := New(RandomPoints(r, 80))
+	s := NewSpeculative(c, 10, func(n int) int { return r.Intn(n) })
+	s.Run(control.Fixed{Procs: 8}, 100000)
+	if c.NumClusters() != 10 {
+		t.Fatalf("clusters = %d, want 10", c.NumClusters())
+	}
+	if err := c.CheckDendrogram(80); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The speculative dendrogram should be of comparable quality to the
+// sequential one: compare the sum of merge distances (cost) within a
+// generous factor (schedules differ, geometry is the same).
+func TestSpeculativeQualityNearSequential(t *testing.T) {
+	r := rng.New(6)
+	pts := RandomPoints(r, 200)
+
+	seq := New(pts)
+	seq.Sequential(1)
+	seqCost := 0.0
+	for _, m := range seq.Merges {
+		seqCost += m.Dist
+	}
+
+	par := New(pts)
+	s := NewSpeculative(par, 1, func(n int) int { return r.Intn(n) })
+	s.Run(control.NewHybrid(control.DefaultHybridConfig(0.25)), 1000000)
+	parCost := 0.0
+	for _, m := range par.Merges {
+		parCost += m.Dist
+	}
+	if parCost > 1.5*seqCost || seqCost > 1.5*parCost {
+		t.Fatalf("dendrogram costs diverge: seq %v vs spec %v", seqCost, parCost)
+	}
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMutualPairsAreMatching(t *testing.T) {
+	r := rng.New(1)
+	c := New(RandomPoints(r, 100))
+	pairs := c.MutualPairs()
+	if len(pairs) == 0 {
+		t.Fatal("no mutual pairs among 100 random points")
+	}
+	seen := map[int]bool{}
+	for _, p := range pairs {
+		if seen[p[0]] || seen[p[1]] {
+			t.Fatalf("mutual pairs are not disjoint: %v", pairs)
+		}
+		seen[p[0]], seen[p[1]] = true, true
+		if p[0] >= p[1] {
+			t.Fatalf("pair not normalized: %v", p)
+		}
+	}
+}
+
+func TestMutualPairsTwoPoints(t *testing.T) {
+	c := New([]Point{{0, 0}, {1, 0}})
+	pairs := c.MutualPairs()
+	if len(pairs) != 1 {
+		t.Fatalf("two points must be mutual: %v", pairs)
+	}
+}
+
+func TestParallelismProfileDrains(t *testing.T) {
+	r := rng.New(2)
+	c := New(RandomPoints(r, 200))
+	pts := c.ParallelismProfile(1)
+	if len(pts) == 0 {
+		t.Fatal("empty profile")
+	}
+	if c.NumClusters() != 1 {
+		t.Fatalf("profile left %d clusters", c.NumClusters())
+	}
+	// Cluster counts strictly decrease; parallel merges bounded by half
+	// the live clusters.
+	for i, p := range pts {
+		if p.MutualPairs < 1 || p.MutualPairs > p.Clusters/2 {
+			t.Fatalf("step %d: %d pairs for %d clusters", i, p.MutualPairs, p.Clusters)
+		}
+		if i > 0 && p.Clusters >= pts[i-1].Clusters {
+			t.Fatalf("clusters did not shrink at step %d", i)
+		}
+	}
+	if err := c.CheckDendrogram(200); err != nil {
+		t.Fatal(err)
+	}
+}

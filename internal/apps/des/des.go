@@ -1,0 +1,309 @@
+// Package des implements a discrete-event simulation of a tandem
+// queueing network — the canonical *ordered* amorphous data-parallel
+// workload the paper's §5 names as future work ("in discrete event
+// simulations the events must commit chronologically"). Jobs arrive at
+// station 0, receive service at each station in turn, and leave after
+// the last; events at the same station conflict, and all events must
+// commit in timestamp order.
+//
+// Service and interarrival times are derived deterministically from a
+// seed and the (station, job) pair, so the sequential oracle and the
+// speculative ordered executor produce *identical* trajectories — the
+// strongest possible correctness check for speculation.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// EventKind distinguishes the two event types. Departures order before
+// arrivals at equal timestamps (the tie rule is part of the model and
+// shared by both executors).
+type EventKind uint8
+
+// Event kinds.
+const (
+	Departure EventKind = iota
+	Arrival
+)
+
+// Event is one simulation event.
+type Event struct {
+	Time    float64
+	Kind    EventKind
+	Station int
+	Job     int
+}
+
+// Tie returns the deterministic tie-break tag: kind, then station, then
+// job — a total order independent of execution schedule.
+func (e Event) Tie() uint64 {
+	return uint64(e.Kind)<<62 | uint64(e.Station)<<32 | uint64(uint32(e.Job))
+}
+
+// Before is the model's total event order.
+func (e Event) Before(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	return e.Tie() < o.Tie()
+}
+
+// Route is one probabilistic routing arc out of a station.
+type Route struct {
+	To   int
+	Prob float64
+}
+
+// Network describes a queueing network of single-server FIFO stations
+// with probabilistic routing. Routing draws are pure functions of
+// (seed, station, job, departure time), so every execution schedule —
+// sequential or speculative — makes identical choices.
+type Network struct {
+	Stations    int
+	ServiceMean []float64 // mean service time per station
+	Seed        uint64
+	// Routing[s] lists the arcs out of station s; residual probability
+	// mass means "exit the network". Nil routing is tandem (s → s+1,
+	// last station exits).
+	Routing [][]Route
+}
+
+// NewTandem builds a tandem network with the given per-station mean
+// service times.
+func NewTandem(seed uint64, serviceMean ...float64) *Network {
+	if len(serviceMean) == 0 {
+		panic("des: need at least one station")
+	}
+	return &Network{Stations: len(serviceMean), ServiceMean: serviceMean, Seed: seed}
+}
+
+// NewRouted builds a general routed network. Each station's arcs must
+// have non-negative probabilities summing to at most 1 (the residual is
+// the exit probability); to guarantee termination some exit must be
+// reachable from every station.
+func NewRouted(seed uint64, serviceMean []float64, routing [][]Route) *Network {
+	if len(serviceMean) == 0 || len(routing) != len(serviceMean) {
+		panic("des: routing table must match station count")
+	}
+	for s, arcs := range routing {
+		total := 0.0
+		for _, a := range arcs {
+			if a.To < 0 || a.To >= len(serviceMean) || a.Prob < 0 {
+				panic(fmt.Sprintf("des: bad arc %+v at station %d", a, s))
+			}
+			total += a.Prob
+		}
+		if total > 1+1e-12 {
+			panic(fmt.Sprintf("des: station %d routing mass %v exceeds 1", s, total))
+		}
+	}
+	return &Network{
+		Stations:    len(serviceMean),
+		ServiceMean: serviceMean,
+		Seed:        seed,
+		Routing:     routing,
+	}
+}
+
+// NextStation returns the station a job departing (station, job) at
+// time t proceeds to, or -1 to exit the network. The draw is a pure
+// function of its arguments, hence schedule-independent; the time
+// dependence makes repeat visits to a station re-draw.
+func (n *Network) NextStation(station, job int, t float64) int {
+	if n.Routing == nil {
+		if station+1 < n.Stations {
+			return station + 1
+		}
+		return -1
+	}
+	r := rng.New(n.Seed ^
+		(uint64(station)+3)*0x9e3779b97f4a7c15 ^
+		uint64(job)*0x94d049bb133111eb ^
+		math.Float64bits(t)*0xbf58476d1ce4e5b9)
+	u := r.Float64()
+	acc := 0.0
+	for _, a := range n.Routing[station] {
+		acc += a.Prob
+		if u < acc {
+			return a.To
+		}
+	}
+	return -1
+}
+
+// ServiceTime returns the deterministic service time of job at station:
+// an exponential variate derived from (seed, station, job) only.
+func (n *Network) ServiceTime(station, job int) float64 {
+	r := rng.New(n.Seed ^ (uint64(station)+1)*0x9e3779b97f4a7c15 ^ uint64(job)*0xbf58476d1ce4e5b9)
+	return n.ServiceMean[station] * r.ExpFloat64()
+}
+
+// Arrivals generates jobs' external arrival events at station 0 with
+// exponential interarrival times of the given mean.
+func (n *Network) Arrivals(jobs int, interMean float64) []Event {
+	r := rng.New(n.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	events := make([]Event, jobs)
+	t := 0.0
+	for j := 0; j < jobs; j++ {
+		t += interMean * r.ExpFloat64()
+		events[j] = Event{Time: t, Kind: Arrival, Station: 0, Job: j}
+	}
+	return events
+}
+
+// StationState is one station's mutable simulation state.
+type StationState struct {
+	Queue  []int // waiting job IDs, FIFO
+	Busy   bool
+	InSvc  int // job in service (valid when Busy)
+	Served int
+}
+
+// State is the full simulation state plus collected statistics.
+type State struct {
+	Net      *Network
+	Stations []StationState
+	// Departed[j] is job j's network departure time (NaN until then).
+	Departed []float64
+	// Processed counts handled events.
+	Processed int
+}
+
+// NewState allocates simulation state for the given number of jobs.
+func NewState(net *Network, jobs int) *State {
+	s := &State{
+		Net:      net,
+		Stations: make([]StationState, net.Stations),
+		Departed: make([]float64, jobs),
+	}
+	for i := range s.Departed {
+		s.Departed[i] = math.NaN()
+	}
+	return s
+}
+
+// Apply executes one event against the state and returns the events it
+// spawns. This single transition function is shared by the sequential
+// oracle and the speculative executor, so their trajectories can only
+// differ through event ordering.
+func (s *State) Apply(e Event) []Event {
+	st := &s.Stations[e.Station]
+	s.Processed++
+	switch e.Kind {
+	case Arrival:
+		if st.Busy {
+			st.Queue = append(st.Queue, e.Job)
+			return nil
+		}
+		st.Busy = true
+		st.InSvc = e.Job
+		return []Event{{
+			Time:    e.Time + s.Net.ServiceTime(e.Station, e.Job),
+			Kind:    Departure,
+			Station: e.Station,
+			Job:     e.Job,
+		}}
+	case Departure:
+		if !st.Busy || st.InSvc != e.Job {
+			panic(fmt.Sprintf("des: departure of job %d at station %d but in-service is %d (busy=%v)",
+				e.Job, e.Station, st.InSvc, st.Busy))
+		}
+		st.Served++
+		var out []Event
+		if next := s.Net.NextStation(e.Station, e.Job, e.Time); next >= 0 {
+			out = append(out, Event{
+				Time:    e.Time,
+				Kind:    Arrival,
+				Station: next,
+				Job:     e.Job,
+			})
+		} else {
+			s.Departed[e.Job] = e.Time
+		}
+		if len(st.Queue) > 0 {
+			next := st.Queue[0]
+			st.Queue = st.Queue[1:]
+			st.InSvc = next
+			out = append(out, Event{
+				Time:    e.Time + s.Net.ServiceTime(e.Station, next),
+				Kind:    Departure,
+				Station: e.Station,
+				Job:     next,
+			})
+		} else {
+			st.Busy = false
+		}
+		return out
+	default:
+		panic("des: unknown event kind")
+	}
+}
+
+// eventHeap is a min-heap of events in model order.
+type eventHeap []Event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].Before(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunSequential simulates to completion with a classic event loop —
+// the correctness oracle for the speculative executor.
+func RunSequential(net *Network, jobs int, interMean float64) *State {
+	s := NewState(net, jobs)
+	var h eventHeap
+	for _, e := range net.Arrivals(jobs, interMean) {
+		heap.Push(&h, e)
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(Event)
+		for _, out := range s.Apply(e) {
+			heap.Push(&h, out)
+		}
+	}
+	return s
+}
+
+// MakespanAndThroughput summarizes a finished simulation: the time the
+// last job left the network and the number of jobs that exited.
+func (s *State) MakespanAndThroughput() (makespan float64, served int) {
+	for _, t := range s.Departed {
+		if !math.IsNaN(t) {
+			served++
+			if t > makespan {
+				makespan = t
+			}
+		}
+	}
+	return makespan, served
+}
+
+// CheckComplete verifies every job left the network and all stations
+// are idle and empty.
+func (s *State) CheckComplete() error {
+	for j, t := range s.Departed {
+		if math.IsNaN(t) {
+			return fmt.Errorf("des: job %d never departed", j)
+		}
+	}
+	for i := range s.Stations {
+		st := &s.Stations[i]
+		if st.Busy || len(st.Queue) != 0 {
+			return fmt.Errorf("des: station %d not drained (busy=%v queue=%d)",
+				i, st.Busy, len(st.Queue))
+		}
+	}
+	return nil
+}

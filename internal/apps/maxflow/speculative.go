@@ -1,0 +1,112 @@
+package maxflow
+
+import (
+	"sync"
+
+	"repro/internal/control"
+	"repro/internal/speculation"
+)
+
+// SpeculativePR runs preflow-push on the optimistic runtime: each active
+// node is a discharge task that locks its residual neighborhood
+// ({u} ∪ N(u)); overlapping neighborhoods conflict. Asynchronous
+// push–relabel is correct under any serialization of atomic discharges,
+// so the committed (neighborhood-disjoint) discharges of a round
+// compose safely.
+type SpeculativePR struct {
+	mu      sync.Mutex
+	st      *prState
+	items   []*speculation.Item
+	hasTask map[int]bool
+	exec    *speculation.Executor
+}
+
+// NewSpeculativePR prepares the workload: the source is saturated and
+// the initially active nodes enter the work-set. pick selects
+// pending-task indices (nil = LIFO).
+func NewSpeculativePR(net *Network, src, sink int, pick func(n int) int) *SpeculativePR {
+	s := &SpeculativePR{
+		st:      newPRState(net, src, sink),
+		items:   make([]*speculation.Item, net.N),
+		hasTask: make(map[int]bool),
+		exec:    speculation.NewExecutor(pick),
+	}
+	for i := range s.items {
+		s.items[i] = speculation.NewItem(int64(i))
+	}
+	for _, v := range s.st.saturateSource() {
+		s.hasTask[v] = true
+		s.exec.Add(s.taskFor(v))
+	}
+	return s
+}
+
+// Executor exposes the underlying executor.
+func (s *SpeculativePR) Executor() *speculation.Executor { return s.exec }
+
+// Pending returns the queued discharge count.
+func (s *SpeculativePR) Pending() int { return s.exec.Pending() }
+
+// FlowValue returns the flow that has reached the sink so far (the max
+// flow once the work-set drains).
+func (s *SpeculativePR) FlowValue() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.excess[s.st.sink]
+}
+
+// taskFor builds the speculative discharge task for node u.
+func (s *SpeculativePR) taskFor(u int) speculation.Task {
+	return speculation.TaskFunc(func(ctx *speculation.Ctx) error {
+		s.mu.Lock()
+		if !s.st.active(u) {
+			delete(s.hasTask, u)
+			s.mu.Unlock()
+			return nil // stale: excess already drained elsewhere
+		}
+		s.mu.Unlock()
+
+		// Cautious lock phase over the static residual neighborhood.
+		if err := ctx.Acquire(s.items[u]); err != nil {
+			return err
+		}
+		for i := range s.st.net.adj[u] {
+			if err := ctx.Acquire(s.items[s.st.net.adj[u][i].To]); err != nil {
+				return err
+			}
+		}
+		ctx.OnCommit(func() { s.commitDischarge(u) })
+		return nil
+	})
+}
+
+// commitDischarge performs the actual discharge (serial commit phase)
+// and requeues the activated nodes.
+func (s *SpeculativePR) commitDischarge(u int) {
+	s.mu.Lock()
+	delete(s.hasTask, u)
+	var spawn []int
+	if s.st.active(u) {
+		activated := s.st.discharge(u)
+		for _, v := range activated {
+			if !s.hasTask[v] {
+				s.hasTask[v] = true
+				spawn = append(spawn, v)
+			}
+		}
+		// A discharge stuck on relabel limits may leave residue.
+		if s.st.active(u) && !s.hasTask[u] {
+			s.hasTask[u] = true
+			spawn = append(spawn, u)
+		}
+	}
+	s.mu.Unlock()
+	for _, v := range spawn {
+		s.exec.Add(s.taskFor(v))
+	}
+}
+
+// Run drains the discharges under controller c.
+func (s *SpeculativePR) Run(c control.Controller, maxRounds int) *speculation.AdaptiveResult {
+	return speculation.RunAdaptive(s.exec, c, maxRounds)
+}

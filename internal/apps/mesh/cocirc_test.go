@@ -1,0 +1,46 @@
+package mesh
+
+import "testing"
+
+func TestCocircularGridInsertions(t *testing.T) {
+	m := NewSquare(0, 1)
+	// Perfect grid: every interior quadruple is cocircular.
+	for i := 1; i < 8; i++ {
+		for j := 1; j < 8; j++ {
+			m.Insert(Point{float64(i) / 8, float64(j) / 8})
+			if err := m.CheckConsistency(); err != nil {
+				t.Fatalf("after (%d,%d): %v", i, j, err)
+			}
+		}
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if a := m.TotalArea(); a < 0.999999 || a > 1.000001 {
+		t.Fatalf("area %v", a)
+	}
+}
+
+func TestDuplicateInsertIsNoop(t *testing.T) {
+	m := NewSquare(0, 1)
+	idx, created := m.Insert(Point{0.5, 0.5})
+	if len(created) == 0 {
+		t.Fatal("fresh insert created nothing")
+	}
+	before := m.NumTriangles()
+	idx2, created2 := m.Insert(Point{0.5, 0.5})
+	if idx2 != idx || created2 != nil {
+		t.Fatalf("duplicate insert: idx %d vs %d, created %v", idx2, idx, created2)
+	}
+	if m.NumTriangles() != before || m.NumPoints() != 5 {
+		t.Fatal("duplicate insert mutated the mesh")
+	}
+	// Duplicating a corner vertex is also a no-op.
+	idx3, created3 := m.Insert(Point{0, 0})
+	if idx3 != 0 || created3 != nil {
+		t.Fatalf("corner duplicate: %d %v", idx3, created3)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

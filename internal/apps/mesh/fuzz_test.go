@@ -1,0 +1,34 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMeshInsert drives Bowyer–Watson with arbitrary (possibly
+// adversarial: near-duplicate, cocircular, boundary-hugging) points and
+// asserts full structural consistency after each insertion.
+func FuzzMeshInsert(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80})
+	f.Add([]byte{0, 0, 255, 255, 128, 128, 128, 129})
+	f.Add([]byte{1, 1, 1, 2, 2, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m := NewSquare(0, 1)
+		area0 := m.TotalArea()
+		for i := 0; i+1 < len(raw) && i < 120; i += 2 {
+			// Quantized coordinates maximize exact-duplicate and
+			// cocircular collisions.
+			p := Point{
+				X: 0.05 + 0.9*float64(raw[i])/255,
+				Y: 0.05 + 0.9*float64(raw[i+1])/255,
+			}
+			m.Insert(p)
+			if err := m.CheckConsistency(); err != nil {
+				t.Fatalf("after inserting %v: %v", p, err)
+			}
+		}
+		if math.Abs(m.TotalArea()-area0) > 1e-9 {
+			t.Fatalf("area drifted: %v", m.TotalArea())
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient2D(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{1, 0}, Point{0, 1}
+	if Orient2D(a, b, c) <= 0 {
+		t.Fatal("CCW triangle reported non-positive")
+	}
+	if Orient2D(a, c, b) >= 0 {
+		t.Fatal("CW triangle reported non-negative")
+	}
+	if Orient2D(a, b, Point{2, 0}) != 0 {
+		t.Fatal("collinear points reported non-zero")
+	}
+}
+
+func TestInCircle(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0).
+	a, b, c := Point{1, 0}, Point{0, 1}, Point{-1, 0}
+	if !InCircle(a, b, c, Point{0, 0}) {
+		t.Fatal("center not inside")
+	}
+	if InCircle(a, b, c, Point{2, 2}) {
+		t.Fatal("far point inside")
+	}
+	if InCircle(a, b, c, Point{0, -1}) {
+		t.Fatal("on-circle point must count as outside (eps rule)")
+	}
+}
+
+func TestInCircleProperty(t *testing.T) {
+	// A point strictly inside the triangle is always inside the
+	// circumcircle.
+	f := func(ax, ay, q1, q2, q3 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 1) }
+		a := Point{norm(ax), norm(ay)}
+		b := Point{a.X + 1 + norm(q1), a.Y}
+		c := Point{a.X + norm(q2), a.Y + 1 + norm(q3)}
+		// Interior point: centroid.
+		p := Point{(a.X + b.X + c.X) / 3, (a.Y + b.Y + c.Y) / 3}
+		return InCircle(a, b, c, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	f := func(bx, cy float64) bool {
+		b := Point{1 + math.Mod(math.Abs(bx), 3), 0}
+		c := Point{0, 1 + math.Mod(math.Abs(cy), 3)}
+		a := Point{0, 0}
+		cc := Circumcenter(a, b, c)
+		da, db, dc := cc.Dist2(a), cc.Dist2(b), cc.Dist2(c)
+		tol := 1e-9 * (1 + da)
+		return math.Abs(da-db) < tol && math.Abs(da-dc) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArea(t *testing.T) {
+	if got := Area(Point{0, 0}, Point{2, 0}, Point{0, 2}); got != 2 {
+		t.Fatalf("area = %v, want 2", got)
+	}
+	// Orientation-independent.
+	if got := Area(Point{0, 0}, Point{0, 2}, Point{2, 0}); got != 2 {
+		t.Fatalf("reversed area = %v", got)
+	}
+}
+
+func TestMinAngle(t *testing.T) {
+	// Equilateral: 60° everywhere.
+	h := math.Sqrt(3) / 2
+	got := MinAngle(Point{0, 0}, Point{1, 0}, Point{0.5, h})
+	if math.Abs(got-math.Pi/3) > 1e-9 {
+		t.Fatalf("equilateral min angle = %v rad", got)
+	}
+	// Right isoceles: 45°.
+	got = MinAngle(Point{0, 0}, Point{1, 0}, Point{0, 1})
+	if math.Abs(got-math.Pi/4) > 1e-9 {
+		t.Fatalf("right isoceles min angle = %v rad", got)
+	}
+	// Degenerate.
+	if MinAngle(Point{0, 0}, Point{1, 0}, Point{2, 0}) > 1e-6 {
+		t.Fatal("collinear triangle should have ~0 min angle")
+	}
+}
+
+func TestInTriangle(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{4, 0}, Point{0, 4}
+	if !InTriangle(Point{1, 1}, a, b, c) {
+		t.Fatal("interior point rejected")
+	}
+	if !InTriangle(Point{2, 0}, a, b, c) {
+		t.Fatal("boundary point rejected")
+	}
+	if InTriangle(Point{3, 3}, a, b, c) {
+		t.Fatal("exterior point accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSVG renders the triangulation as a standalone SVG document —
+// the tangible artifact of a refinement run. Triangles violating q (if
+// q is non-zero) are filled red; good triangles light gray. size is the
+// output width/height in pixels.
+func (m *Mesh) WriteSVG(w io.Writer, q Quality, size int) error {
+	if size < 16 {
+		size = 16
+	}
+	lo, hi := m.Bounds()
+	span := hi.X - lo.X
+	if s := hi.Y - lo.Y; s > span {
+		span = s
+	}
+	if span <= 0 {
+		span = 1
+	}
+	scale := float64(size) / span
+	// SVG y grows downward; flip to keep the mesh upright.
+	tx := func(p Point) (float64, float64) {
+		return (p.X - lo.X) * scale, float64(size) - (p.Y-lo.Y)*scale
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size); err != nil {
+		return err
+	}
+	for _, id := range m.TriangleIDs() {
+		t := m.Triangle(id)
+		a, b, c := m.Corners(t)
+		ax, ay := tx(a)
+		bx, by := tx(b)
+		cx, cy := tx(c)
+		fill := "#e8e8e8"
+		if (q.MaxArea > 0 || q.MinAngleDeg > 0) && q.IsBad(m, t) {
+			fill = "#e05050"
+		}
+		if _, err := fmt.Fprintf(bw,
+			`<polygon points="%.2f,%.2f %.2f,%.2f %.2f,%.2f" fill="%s" stroke="#404040" stroke-width="0.5"/>`+"\n",
+			ax, ay, bx, by, cx, cy, fill); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, `</svg>`); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,52 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWriteSVG(t *testing.T) {
+	r := rng.New(1)
+	m := NewSquare(0, 1)
+	for _, p := range randomPoints(r, 20, 0, 1) {
+		m.Insert(p)
+	}
+	q := Quality{MaxArea: 0.02}
+	var sb strings.Builder
+	if err := m.WriteSVG(&sb, q, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if got := strings.Count(out, "<polygon"); got != m.NumTriangles() {
+		t.Fatalf("%d polygons for %d triangles", got, m.NumTriangles())
+	}
+	// With a tight quality bound some triangles must be flagged bad.
+	if !strings.Contains(out, "#e05050") {
+		t.Fatal("no bad triangles highlighted")
+	}
+	// After full refinement nothing is highlighted.
+	m.Refine(q, 0)
+	sb.Reset()
+	if err := m.WriteSVG(&sb, q, 400); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#e05050") {
+		t.Fatal("refined mesh still shows bad triangles")
+	}
+}
+
+func TestWriteSVGMinSize(t *testing.T) {
+	m := NewSquare(0, 1)
+	var sb strings.Builder
+	if err := m.WriteSVG(&sb, Quality{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `width="16"`) {
+		t.Fatal("minimum size not enforced")
+	}
+}

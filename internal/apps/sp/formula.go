@@ -1,0 +1,188 @@
+// Package sp implements survey propagation for random k-SAT — another
+// of the paper's motivating amorphous data-parallel workloads (§1,
+// citing Braunstein–Mézard–Zecchina). Clause-update tasks operate on a
+// factor graph; two updates conflict when their clauses share a
+// variable, which is the conflict relation exposed to the optimistic
+// runtime.
+//
+// The package contains a full solver pipeline: random formula
+// generation, sequential SP message passing (the oracle), SP-guided
+// decimation, unit propagation, a WalkSAT finisher for the paramagnetic
+// phase, and the speculative adapter.
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Lit is a literal: variable index with sign.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals.
+type Clause struct {
+	Lits []Lit
+}
+
+// Formula is a CNF formula over variables 0..NumVars-1.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewRandom3SAT returns a random 3-SAT formula with n variables and m
+// clauses; each clause draws 3 distinct variables and random signs.
+func NewRandom3SAT(r *rng.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sp: need at least 3 variables")
+	}
+	f := &Formula{NumVars: n}
+	for c := 0; c < m; c++ {
+		vars := r.PermPrefix(n, 3)
+		cl := Clause{Lits: make([]Lit, 3)}
+		for i, v := range vars {
+			cl.Lits[i] = Lit{Var: v, Neg: r.Bool()}
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+// Assignment maps variables to values; entries < 0 are unassigned,
+// 0 = false, 1 = true.
+type Assignment []int8
+
+// NewAssignment returns an all-unassigned assignment for n variables.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	return a
+}
+
+// Satisfied reports whether every clause has a true literal under a
+// *total* assignment; it returns an error naming the first violated or
+// undecided clause.
+func (f *Formula) Satisfied(a Assignment) error {
+	for ci, c := range f.Clauses {
+		ok := false
+		for _, l := range c.Lits {
+			switch a[l.Var] {
+			case -1:
+				return fmt.Errorf("sp: variable %d unassigned (clause %d)", l.Var, ci)
+			case 0:
+				if l.Neg {
+					ok = true
+				}
+			case 1:
+				if !l.Neg {
+					ok = true
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("sp: clause %d unsatisfied", ci)
+		}
+	}
+	return nil
+}
+
+// Simplify applies the partial assignment: satisfied clauses are
+// dropped, false literals removed. It returns the residual formula, a
+// variable index remap (old -> new, -1 for assigned/eliminated
+// variables), and an error if an empty clause arises (contradiction).
+func (f *Formula) Simplify(a Assignment) (*Formula, []int, error) {
+	remap := make([]int, f.NumVars)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := 0
+	var clauses []Clause
+	for ci, c := range f.Clauses {
+		var lits []Lit
+		satisfied := false
+		for _, l := range c.Lits {
+			switch a[l.Var] {
+			case -1:
+				lits = append(lits, l)
+			case 0:
+				if l.Neg {
+					satisfied = true
+				}
+			case 1:
+				if !l.Neg {
+					satisfied = true
+				}
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if len(lits) == 0 {
+			return nil, nil, fmt.Errorf("sp: clause %d became empty (contradiction)", ci)
+		}
+		for i, l := range lits {
+			if remap[l.Var] == -1 {
+				remap[l.Var] = next
+				next++
+			}
+			lits[i].Var = remap[l.Var]
+		}
+		clauses = append(clauses, Clause{Lits: lits})
+	}
+	return &Formula{NumVars: next, Clauses: clauses}, remap, nil
+}
+
+// UnitPropagate repeatedly assigns variables forced by unit clauses,
+// writing into a. It returns the number of assignments made and an error
+// on contradiction.
+func (f *Formula) UnitPropagate(a Assignment) (int, error) {
+	assigned := 0
+	for {
+		progress := false
+		for ci, c := range f.Clauses {
+			var unassigned []Lit
+			satisfied := false
+			for _, l := range c.Lits {
+				switch a[l.Var] {
+				case -1:
+					unassigned = append(unassigned, l)
+				case 0:
+					satisfied = satisfied || l.Neg
+				case 1:
+					satisfied = satisfied || !l.Neg
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch len(unassigned) {
+			case 0:
+				return assigned, fmt.Errorf("sp: contradiction at clause %d", ci)
+			case 1:
+				l := unassigned[0]
+				if l.Neg {
+					a[l.Var] = 0
+				} else {
+					a[l.Var] = 1
+				}
+				assigned++
+				progress = true
+			}
+		}
+		if !progress {
+			return assigned, nil
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sp
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestClauseConflictGraph(t *testing.T) {
+	// Two clauses sharing x1; a third disjoint.
+	f := &Formula{NumVars: 5, Clauses: []Clause{
+		{Lits: []Lit{{Var: 0}, {Var: 1}}},
+		{Lits: []Lit{{Var: 1, Neg: true}, {Var: 2}}},
+		{Lits: []Lit{{Var: 3}, {Var: 4}}},
+	}}
+	g := ClauseConflictGraph(f)
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Fatal("conflict wiring wrong")
+	}
+}
+
+func TestParallelismEstimateScalesWithSize(t *testing.T) {
+	r := rng.New(1)
+	small := NewRandom3SAT(r, 100, 250)
+	big := NewRandom3SAT(r, 400, 1000)
+	ps := ParallelismEstimate(small, r, 40)
+	pb := ParallelismEstimate(big, r, 40)
+	if ps <= 0 || pb <= 0 {
+		t.Fatal("nonpositive parallelism")
+	}
+	// Same α: parallelism should scale roughly linearly (±2× slack).
+	if pb < 2*ps {
+		t.Fatalf("parallelism did not scale: %v -> %v", ps, pb)
+	}
+	// And a clairvoyant bound: cannot exceed the clause count.
+	if pb > 1000 {
+		t.Fatalf("parallelism %v exceeds clause count", pb)
+	}
+}

@@ -1,0 +1,135 @@
+package control
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Trajectory records a closed-loop run: per round, the processor count
+// used and the conflict ratio observed.
+type Trajectory struct {
+	Controller string
+	M          []int
+	R          []float64
+	Committed  []int
+}
+
+// Len returns the number of recorded rounds.
+func (tr *Trajectory) Len() int { return len(tr.M) }
+
+// MSeries converts the m trajectory to a stats.Series for reporting.
+func (tr *Trajectory) MSeries() *stats.Series {
+	s := &stats.Series{Name: tr.Controller + "/m"}
+	for i, m := range tr.M {
+		s.Append(float64(i), float64(m))
+	}
+	return s
+}
+
+// ConvergenceStep returns the first round index after which m stays
+// within ±tol (relative) of target for at least hold consecutive rounds,
+// or -1 if it never does. This is the §4.1 convergence metric ("in about
+// 15 steps the controller converges close to the desired μ value").
+func (tr *Trajectory) ConvergenceStep(target float64, tol float64, hold int) int {
+	if target <= 0 {
+		return -1
+	}
+	run := 0
+	for i, m := range tr.M {
+		if stats.RelErr(float64(m), target) <= tol {
+			run++
+			if run >= hold {
+				return i - hold + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// SteadyStateStats returns mean and standard deviation of m over the last
+// tail rounds — the oscillation metric of the §4.1 ablations.
+func (tr *Trajectory) SteadyStateStats(tail int) (mean, std float64) {
+	if tail > len(tr.M) {
+		tail = len(tr.M)
+	}
+	var acc stats.Accumulator
+	for _, m := range tr.M[len(tr.M)-tail:] {
+		acc.Add(float64(m))
+	}
+	return acc.Mean(), acc.StdDev()
+}
+
+// RunLoop drives controller c against scheduler s for at most maxRounds
+// rounds (or until the graph drains, whichever is first) and records the
+// trajectory. The loop is exactly the paper's main loop: clamp/launch m,
+// observe the conflict ratio, let the controller update.
+func RunLoop(s *sched.Scheduler, c Controller, maxRounds int) *Trajectory {
+	tr := &Trajectory{Controller: c.Name()}
+	for round := 0; round < maxRounds && !s.Done(); round++ {
+		m := c.M()
+		res := s.Step(m)
+		r := res.ConflictRatio()
+		tr.M = append(tr.M, m)
+		tr.R = append(tr.R, r)
+		tr.Committed = append(tr.Committed, len(res.Committed))
+		c.Observe(r)
+	}
+	return tr
+}
+
+// RunLoopStatic drives the controller against a *static* conflict-ratio
+// oracle: each round the observed ratio is a Monte Carlo draw of one
+// random round at the current m on a fixed graph, without removing nodes.
+// This isolates controller dynamics from graph drain (the Fig. 3
+// setting, where G_t is assumed quasi-static) and is the harness for
+// convergence experiments.
+func RunLoopStatic(g *graph.Graph, r *rng.Rand, c Controller, rounds int) *Trajectory {
+	tr := &Trajectory{Controller: c.Name()}
+	for round := 0; round < rounds; round++ {
+		m := c.M()
+		mm := m
+		if n := g.NumNodes(); mm > n {
+			mm = n
+		}
+		ratio := 0.0
+		if mm > 0 {
+			order := g.SampleNodes(r, mm)
+			committed := graph.GreedyMISSize(g, order)
+			ratio = float64(mm-committed) / float64(mm)
+			tr.Committed = append(tr.Committed, committed)
+		} else {
+			tr.Committed = append(tr.Committed, 0)
+		}
+		tr.M = append(tr.M, m)
+		tr.R = append(tr.R, ratio)
+		c.Observe(ratio)
+	}
+	return tr
+}
+
+// TargetM finds μ — the largest m with r̄(m) ≤ rho — on a static graph by
+// bisection over the Monte Carlo estimate of r̄ (Prop. 1 guarantees the
+// bisection invariant). reps controls estimator accuracy.
+func TargetM(g *graph.Graph, r *rng.Rand, rho float64, reps int) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	lo, hi := 1, n // r̄(1) = 0 ≤ rho always
+	if sched.ConflictRatioMC(g, r, n, reps) <= rho {
+		return n
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if sched.ConflictRatioMC(g, r, mid, reps) <= rho {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/speculation"
+)
+
+func TestSimulationEndToEnd(t *testing.T) {
+	g := RandomCCGraph(1, 500, 8)
+	if g.NumNodes() != 500 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	sim := NewSimulation(g, 2)
+	traj := sim.RunAdaptive(NewController(0.25), 100000)
+	if sim.Graph().NumNodes() != 0 {
+		t.Fatal("simulation did not drain")
+	}
+	total := 0
+	for _, c := range traj.Committed {
+		total += c
+	}
+	if total != 500 {
+		t.Fatalf("committed %d, want 500", total)
+	}
+}
+
+func TestSimulationStaticAndTarget(t *testing.T) {
+	g := RandomCCGraph(3, 1000, 12)
+	sim := NewSimulation(g, 4)
+	mu := sim.TargetM(0.25, 300)
+	if mu < 2 || mu > 1000 {
+		t.Fatalf("μ = %d out of range", mu)
+	}
+	traj := sim.RunStatic(NewController(0.25), 200)
+	if traj.Len() != 200 {
+		t.Fatalf("static run has %d rounds", traj.Len())
+	}
+	mean, _ := traj.SteadyStateStats(50)
+	if math.Abs(mean-float64(mu)) > 0.5*float64(mu) {
+		t.Errorf("steady state %v far from μ=%d", mean, mu)
+	}
+	if sim.Graph().NumNodes() != 1000 {
+		t.Error("static run mutated the graph")
+	}
+}
+
+func TestEstimateAccessors(t *testing.T) {
+	e := Estimate{N: 2000, D: 16}
+	if got := e.TuranParallelism(); math.Abs(got-2000.0/17) > 1e-9 {
+		t.Errorf("Turán = %v", got)
+	}
+	if got := e.InitialSlope(); math.Abs(got-16.0/(2*1999)) > 1e-12 {
+		t.Errorf("slope = %v", got)
+	}
+	if got := e.SafeInitialM(); got != 58 {
+		t.Errorf("SafeInitialM = %d", got)
+	}
+	if r1 := e.WorstCaseConflictRatio(58); r1 > 0.22 {
+		t.Errorf("worst-case ratio at safe m = %v, want ≤ ~0.213", r1)
+	}
+}
+
+func TestWorstCaseCCGraph(t *testing.T) {
+	g := WorstCaseCCGraph(120, 5)
+	if g.NumNodes() != 120 || g.AvgDegree() != 5 {
+		t.Fatalf("n=%d d=%v", g.NumNodes(), g.AvgDegree())
+	}
+}
+
+func TestRuntimeFacade(t *testing.T) {
+	rt := NewRuntime(5)
+	it := NewItem(0)
+	for i := 0; i < 20; i++ {
+		rt.Add(taskFunc(func(ctx *Ctx) error { return ctx.Acquire(it) }))
+	}
+	res := rt.RunAdaptive(NewController(0.25), 10000)
+	if rt.Pending() != 0 {
+		t.Fatal("runtime did not drain")
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if rt.Executor().TotalCommitted != 20 {
+		t.Fatalf("committed %d", rt.Executor().TotalCommitted)
+	}
+}
+
+func TestRunGraphEndToEnd(t *testing.T) {
+	g := RandomCCGraph(6, 400, 10)
+	res := RunGraph(g, 7, NewController(0.25), 100000)
+	if g.NumNodes() != 0 {
+		t.Fatalf("%d nodes left", g.NumNodes())
+	}
+	total := 0
+	for _, c := range res.Committed {
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("committed %d, want 400", total)
+	}
+}
+
+// taskFunc mirrors speculation.TaskFunc without re-exporting it; the
+// facade test verifies the aliased interfaces compose.
+type taskFunc func(ctx *Ctx) error
+
+func (f taskFunc) Run(ctx *Ctx) error { return f(ctx) }
+
+func TestNewControllerWithConfig(t *testing.T) {
+	cfg := control.DefaultHybridConfig(0.3)
+	cfg.MMax = 128
+	h := NewControllerWithConfig(cfg)
+	if h.Config().MMax != 128 {
+		t.Fatal("config not applied")
+	}
+}
+
+func TestSimulationConflictRatio(t *testing.T) {
+	sim := NewSimulation(WorstCaseCCGraph(60, 5), 1)
+	got := sim.ConflictRatio(30, 3000)
+	// Thm. 3 closed form at n=60, d=5, m=30.
+	want := Estimate{N: 60, D: 5}.WorstCaseConflictRatio(30)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("measured %v vs closed form %v", got, want)
+	}
+}
+
+func TestRuntimeRound(t *testing.T) {
+	rt := NewRuntime(9)
+	rt.Add(taskFunc(func(*Ctx) error { return nil }))
+	st := rt.Round(4)
+	if st.Committed != 1 {
+		t.Fatalf("round stats %+v", st)
+	}
+}
+
+func TestOrderedRuntimeFacade(t *testing.T) {
+	rt := NewOrderedRuntime()
+	var order []float64
+	for _, tm := range []float64{3, 1, 2} {
+		tm := tm
+		rt.Add(orderedNote{t: tm, fn: func() { order = append(order, tm) }})
+	}
+	if rt.Pending() != 3 {
+		t.Fatalf("pending %d", rt.Pending())
+	}
+	res := rt.RunAdaptive(NewController(0.25), 1000)
+	if res.UsefulWork != 3 {
+		t.Fatalf("useful %d", res.UsefulWork)
+	}
+	if rt.Executor().TotalCommitted != 3 {
+		t.Fatal("executor counters missing")
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("commit order %v", order)
+		}
+	}
+}
+
+type orderedNote struct {
+	t  float64
+	fn func()
+}
+
+func (o orderedNote) Key() speculation.Key { return speculation.Key{Time: o.t} }
+func (o orderedNote) Run(ctx *speculation.OrderedCtx) error {
+	ctx.OnCommit(o.fn)
+	return nil
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The simplest use: let the paper's Algorithm 1 allocate processors
+// while a random irregular workload drains.
+func Example() {
+	g := core.RandomCCGraph(42, 1000, 8)
+	sim := core.NewSimulation(g, 7)
+	traj := sim.RunAdaptive(core.NewController(0.25), 100000)
+
+	total := 0
+	for _, c := range traj.Committed {
+		total += c
+	}
+	fmt.Println("committed:", total)
+	fmt.Println("drained:", sim.Graph().NumNodes() == 0)
+	// Output:
+	// committed: 1000
+	// drained: true
+}
+
+// The §3 theory answers capacity questions before anything runs.
+func ExampleEstimate() {
+	est := core.Estimate{N: 2000, D: 16}
+	fmt.Printf("guaranteed parallelism: %.0f\n", est.TuranParallelism())
+	fmt.Printf("safe initial m: %d\n", est.SafeInitialM())
+	fmt.Printf("worst-case ratio at that m: %.3f\n",
+		est.WorstCaseConflictRatio(est.SafeInitialM()))
+	// Output:
+	// guaranteed parallelism: 118
+	// safe initial m: 58
+	// worst-case ratio at that m: 0.199
+}
+
+// Custom speculative tasks run on the goroutine runtime; conflicting
+// tasks (here: all contending for one item) serialize via abort/retry.
+func ExampleRuntime() {
+	rt := core.NewRuntime(1)
+	account := core.NewItem(0)
+	balance := 0
+	for i := 0; i < 10; i++ {
+		rt.Add(taskFunc(func(ctx *core.Ctx) error {
+			if err := ctx.Acquire(account); err != nil {
+				return err
+			}
+			ctx.OnCommit(func() { balance += 10 })
+			return nil
+		}))
+	}
+	rt.RunAdaptive(core.NewController(0.25), 10000)
+	fmt.Println("balance:", balance)
+	// Output:
+	// balance: 100
+}
+
+type taskFunc func(ctx *core.Ctx) error
+
+func (f taskFunc) Run(ctx *core.Ctx) error { return f(ctx) }

@@ -1,0 +1,291 @@
+// Package graph implements the dynamic undirected graphs that serve as
+// computations/conflicts (CC) graphs in the paper's model (§2): nodes are
+// pending computations, edges are conflicts between them. The scheduler
+// removes committed nodes and application hooks may insert new nodes and
+// edges, so the structure supports efficient insertion, deletion, and
+// uniform random sampling of live nodes.
+//
+// The package also hosts the generator families used by the paper's
+// evaluation (random graphs with a target average degree, unions of
+// cliques K^n_d, the clique-plus-isolated-nodes graph of Example 1, and a
+// handful of standard topologies) and the greedy maximal-independent-set
+// primitive that defines the model's conflict-resolution semantics.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Graph is a mutable undirected simple graph with integer node IDs.
+// Node IDs are assigned by AddNode and remain stable until removal; the
+// dense index maintained alongside the adjacency structure supports O(1)
+// uniform sampling of live nodes, which the paper's scheduler performs
+// every round.
+//
+// Graph is not safe for concurrent mutation.
+type Graph struct {
+	adj    map[int]map[int]struct{}
+	nodes  []int       // dense list of live node IDs
+	pos    map[int]int // node ID -> index into nodes
+	edges  int
+	nextID int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		adj: make(map[int]map[int]struct{}),
+		pos: make(map[int]int),
+	}
+}
+
+// NewWithNodes returns a graph with n isolated nodes with IDs 0..n-1.
+func NewWithNodes(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return g
+}
+
+// AddNode inserts a fresh node and returns its ID.
+func (g *Graph) AddNode() int {
+	id := g.nextID
+	g.nextID++
+	g.addNodeID(id)
+	return id
+}
+
+func (g *Graph) addNodeID(id int) {
+	if _, ok := g.adj[id]; ok {
+		return
+	}
+	g.adj[id] = make(map[int]struct{})
+	g.pos[id] = len(g.nodes)
+	g.nodes = append(g.nodes, id)
+	if id >= g.nextID {
+		g.nextID = id + 1
+	}
+}
+
+// Has reports whether node id is live.
+func (g *Graph) Has(id int) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// AddEdge inserts the undirected edge {u, v}. It reports whether the edge
+// was newly added (false for duplicates). It panics if either endpoint is
+// absent or if u == v (self-conflicts are meaningless in the model).
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-edge on node %d", u))
+	}
+	au, ok := g.adj[u]
+	if !ok {
+		panic(fmt.Sprintf("graph: AddEdge endpoint %d absent", u))
+	}
+	av, ok := g.adj[v]
+	if !ok {
+		panic(fmt.Sprintf("graph: AddEdge endpoint %d absent", v))
+	}
+	if _, dup := au[v]; dup {
+		return false
+	}
+	au[v] = struct{}{}
+	av[u] = struct{}{}
+	g.edges++
+	return true
+}
+
+// HasEdge reports whether the edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	au, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	_, e := au[v]
+	return e
+}
+
+// RemoveEdge deletes the edge {u, v} if present and reports whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	au, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	if _, e := au[v]; !e {
+		return false
+	}
+	delete(au, v)
+	delete(g.adj[v], u)
+	g.edges--
+	return true
+}
+
+// RemoveNode deletes node id and all incident edges. It reports whether
+// the node existed. This is the "commit" operation of the model: a
+// processed computation leaves the CC graph.
+func (g *Graph) RemoveNode(id int) bool {
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return false
+	}
+	for v := range nbrs {
+		delete(g.adj[v], id)
+		g.edges--
+	}
+	delete(g.adj, id)
+	// Swap-remove from the dense list to keep sampling O(1).
+	i := g.pos[id]
+	last := len(g.nodes) - 1
+	moved := g.nodes[last]
+	g.nodes[i] = moved
+	g.pos[moved] = i
+	g.nodes = g.nodes[:last]
+	delete(g.pos, id)
+	return true
+}
+
+// Degree returns the number of neighbors of id, or 0 if absent.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Neighbors appends the neighbors of id to buf and returns it. The order
+// is unspecified (map iteration); callers needing determinism must sort.
+func (g *Graph) Neighbors(id int, buf []int) []int {
+	for v := range g.adj[id] {
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// SortedNeighbors returns the neighbors of id in ascending order.
+func (g *Graph) SortedNeighbors(id int) []int {
+	ns := g.Neighbors(id, nil)
+	sort.Ints(ns)
+	return ns
+}
+
+// EachNeighbor calls fn for every neighbor of id; iteration order is
+// unspecified.
+func (g *Graph) EachNeighbor(id int, fn func(v int)) {
+	for v := range g.adj[id] {
+		fn(v)
+	}
+}
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AvgDegree returns 2|E|/|V|, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.nodes) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.nodes))
+}
+
+// Nodes returns a copy of the live node IDs in unspecified order.
+func (g *Graph) Nodes() []int {
+	return append([]int(nil), g.nodes...)
+}
+
+// NodeAt returns the i-th live node in the internal dense order.
+// Combined with rng sampling of indices it yields uniform node samples.
+func (g *Graph) NodeAt(i int) int { return g.nodes[i] }
+
+// SampleNodes returns m distinct live nodes chosen uniformly at random in
+// random order — the length-m prefix of a random permutation of the live
+// nodes, exactly the active-node selection of the paper's model. If m
+// exceeds the number of live nodes, all nodes are returned in random
+// order.
+func (g *Graph) SampleNodes(r *rng.Rand, m int) []int {
+	n := len(g.nodes)
+	if m > n {
+		m = n
+	}
+	idx := r.PermPrefix(n, m)
+	out := make([]int, m)
+	for i, j := range idx {
+		out[i] = g.nodes[j]
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no state with g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:    make(map[int]map[int]struct{}, len(g.adj)),
+		nodes:  append([]int(nil), g.nodes...),
+		pos:    make(map[int]int, len(g.pos)),
+		edges:  g.edges,
+		nextID: g.nextID,
+	}
+	for id, nbrs := range g.adj {
+		m := make(map[int]struct{}, len(nbrs))
+		for v := range nbrs {
+			m[v] = struct{}{}
+		}
+		c.adj[id] = m
+	}
+	for id, i := range g.pos {
+		c.pos[id] = i
+	}
+	return c
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxD := 0
+	for _, id := range g.nodes {
+		if d := len(g.adj[id]); d > maxD {
+			maxD = d
+		}
+	}
+	counts := make([]int, maxD+1)
+	for _, id := range g.nodes {
+		counts[len(g.adj[id])]++
+	}
+	return counts
+}
+
+// CheckInvariants verifies internal consistency (symmetry of adjacency,
+// dense-index agreement, edge count). It is used by tests and returns a
+// descriptive error on the first violation found.
+func (g *Graph) CheckInvariants() error {
+	if len(g.adj) != len(g.nodes) || len(g.pos) != len(g.nodes) {
+		return fmt.Errorf("graph: size mismatch adj=%d nodes=%d pos=%d",
+			len(g.adj), len(g.nodes), len(g.pos))
+	}
+	edgeEnds := 0
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			edgeEnds++
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if _, ok := g.adj[v]; !ok {
+				return fmt.Errorf("graph: edge {%d,%d} to dead node", u, v)
+			}
+			if _, ok := g.adj[v][u]; !ok {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}", u, v)
+			}
+		}
+	}
+	if edgeEnds != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d but %d endpoints", g.edges, edgeEnds)
+	}
+	for i, id := range g.nodes {
+		if g.pos[id] != i {
+			return fmt.Errorf("graph: dense index broken at node %d", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList emits the graph in the plain text format shared by most
+// graph tools: a header line "# nodes <n>", then one "u v" pair per
+// edge (u < v), sorted for deterministic output. Isolated nodes are
+// preserved through the header count plus explicit "node v" lines for
+// IDs outside the contiguous range.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	ids := g.Nodes()
+	sort.Ints(ids)
+	for _, v := range ids {
+		if _, err := fmt.Fprintf(bw, "node %d\n", v); err != nil {
+			return err
+		}
+	}
+	type edge struct{ u, v int }
+	edges := make([]edge, 0, g.NumEdges())
+	for _, u := range ids {
+		for v := range g.adj[u] {
+			if u < v {
+				edges = append(edges, edge{u, v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.u, e.v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format (comment lines starting
+// with '#' are skipped; "node v" declares an isolated or any node;
+// "u v" declares an edge, creating endpoints as needed).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	ensure := func(id int) {
+		if !g.Has(id) {
+			g.addNodeID(id)
+		}
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case len(fields) == 2 && fields[0] == "node":
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id %q", line, fields[1])
+			}
+			ensure(id)
+		case len(fields) == 2:
+			u, err1 := strconv.Atoi(fields[0])
+			v, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: line %d: self-loop %d", line, u)
+			}
+			ensure(u)
+			ensure(v)
+			if !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unparseable %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	g := RandomGNM(r, 40, 100)
+	g.RemoveNode(7) // non-contiguous IDs + possible isolated survivors
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, u := range g.Nodes() {
+		if !back.Has(u) {
+			t.Fatalf("node %d lost", u)
+		}
+		for v := range g.adj[u] {
+			if !back.HasEdge(u, v) {
+				t.Fatalf("edge {%d,%d} lost", u, v)
+			}
+		}
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteEdgeListDeterministic(t *testing.T) {
+	r := rng.New(2)
+	g := RandomGNM(r, 20, 50)
+	var a, b strings.Builder
+	if err := g.WriteEdgeList(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("output not deterministic")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3",  // too many fields
+		"a b",    // non-numeric
+		"node x", // bad node id
+		"5 5",    // self-loop
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+	// Comments, blanks, and duplicate edges are tolerated.
+	g, err := ReadEdgeList(strings.NewReader("# header\n\n1 2\n2 1\nnode 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d/%d", g.NumNodes(), g.NumEdges())
+	}
+}

@@ -1,0 +1,188 @@
+package graph
+
+import "repro/internal/rng"
+
+// GreedyMIS processes the given node order and returns the greedy maximal
+// independent set: a node is selected iff none of its neighbors was
+// selected earlier in the order. This is exactly the paper's commit rule —
+// a speculative task commits iff no conflicting task committed before it —
+// so the selected set is the committed tasks and the rest of the order is
+// the aborted ones.
+//
+// Nodes in order must be live in g; order may be any subset of the nodes
+// (the "active nodes" of a round).
+func GreedyMIS(g *Graph, order []int) (selected, rejected []int) {
+	in := make(map[int]bool, len(order))
+	for _, v := range order {
+		ok := true
+		for u := range g.adj[v] {
+			if in[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			in[v] = true
+			selected = append(selected, v)
+		} else {
+			rejected = append(rejected, v)
+		}
+	}
+	return selected, rejected
+}
+
+// GreedyMISSize returns only the size of the greedy MIS over the order,
+// avoiding slice allocation for Monte Carlo inner loops.
+func GreedyMISSize(g *Graph, order []int) int {
+	in := make(map[int]bool, len(order))
+	size := 0
+	for _, v := range order {
+		ok := true
+		for u := range g.adj[v] {
+			if in[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			in[v] = true
+			size++
+		}
+	}
+	return size
+}
+
+// MISScratch amortizes the selected-set bookkeeping across many greedy
+// MIS computations on graphs whose node IDs stay below a shared bound.
+// The zero value is ready; it is not safe for concurrent use.
+type MISScratch struct {
+	mark  []uint64
+	epoch uint64
+}
+
+// Size computes GreedyMISSize(g, order) without per-call allocation.
+func (s *MISScratch) Size(g *Graph, order []int) int {
+	if n := g.nextID; len(s.mark) < n {
+		grown := make([]uint64, n+n/2+16)
+		copy(grown, s.mark)
+		s.mark = grown
+	}
+	s.epoch++
+	size := 0
+	for _, v := range order {
+		ok := true
+		for u := range g.adj[v] {
+			if s.mark[u] == s.epoch {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.mark[v] = s.epoch
+			size++
+		}
+	}
+	return size
+}
+
+// ExpectedMISMonteCarlo estimates E[|greedy MIS|] over uniformly random
+// full permutations of g's nodes — the quantity Turán's theorem (Thm. 1)
+// lower-bounds by n/(d+1). reps is the number of sampled permutations.
+func ExpectedMISMonteCarlo(g *Graph, r *rng.Rand, reps int) float64 {
+	n := g.NumNodes()
+	sum := 0
+	var scratch MISScratch
+	for i := 0; i < reps; i++ {
+		order := g.SampleNodes(r, n)
+		sum += scratch.Size(g, order)
+	}
+	if reps == 0 {
+		return 0
+	}
+	return float64(sum) / float64(reps)
+}
+
+// ExpectedInducedMISMonteCarlo estimates EM_m(G): the expected size of the
+// greedy maximal independent set of the subgraph induced by m uniformly
+// random nodes (Thm. 2's quantity). With m = n it coincides with
+// ExpectedMISMonteCarlo.
+func ExpectedInducedMISMonteCarlo(g *Graph, r *rng.Rand, m, reps int) float64 {
+	sum := 0
+	var scratch MISScratch
+	for i := 0; i < reps; i++ {
+		order := g.SampleNodes(r, m)
+		sum += scratch.Size(g, order)
+	}
+	if reps == 0 {
+		return 0
+	}
+	return float64(sum) / float64(reps)
+}
+
+// NoEarlierNeighborCount returns the number of nodes in order that have
+// no neighbor at all earlier in the order — the independent-set variant
+// IS_m used in the proof of Thm. 2 (the quantity b_m averages). It is a
+// lower bound on the greedy MIS size for the same order.
+func NoEarlierNeighborCount(g *Graph, order []int) int {
+	seen := make(map[int]bool, len(order))
+	count := 0
+	for _, v := range order {
+		ok := true
+		for u := range g.adj[v] {
+			if seen[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+		seen[v] = true
+	}
+	return count
+}
+
+// IsIndependentSet reports whether set is pairwise non-adjacent in g.
+func IsIndependentSet(g *Graph, set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for u := range g.adj[v] {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether set is independent and no
+// further node of g could be added (every non-member has a member
+// neighbor). The "universe" is all live nodes of g.
+func IsMaximalIndependentSet(g *Graph, set []int) bool {
+	if !IsIndependentSet(g, set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range g.nodes {
+		if in[v] {
+			continue
+		}
+		blocked := false
+		for u := range g.adj[v] {
+			if in[u] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := CliqueUnion(12, 3) // 3 cliques of 4
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("%d components, want 3", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		if len(c) != 4 {
+			t.Fatalf("component size %d, want 4", len(c))
+		}
+		// First element is the smallest ID of the component.
+		min := c[0]
+		for _, v := range c {
+			if v < min {
+				t.Fatalf("component leader %d is not minimal (%v)", c[0], c)
+			}
+		}
+		total += len(c)
+	}
+	if total != 12 {
+		t.Fatalf("components cover %d nodes", total)
+	}
+}
+
+func TestNumComponents(t *testing.T) {
+	if got := Empty(7).NumComponents(); got != 7 {
+		t.Fatalf("empty graph: %d", got)
+	}
+	if got := Complete(7).NumComponents(); got != 1 {
+		t.Fatalf("complete graph: %d", got)
+	}
+	if got := New().NumComponents(); got != 0 {
+		t.Fatalf("null graph: %d", got)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5) // 0-1-2-3-4
+	dist := g.BFSDistances(0)
+	for v := 0; v < 5; v++ {
+		if dist[v] != v {
+			t.Fatalf("dist[%d] = %d", v, dist[v])
+		}
+	}
+	// Disconnected nodes are absent.
+	g2 := Empty(3)
+	g2.AddEdge(0, 1)
+	d2 := g2.BFSDistances(0)
+	if _, ok := d2[2]; ok {
+		t.Fatal("unreachable node has a distance")
+	}
+	if len(d2) != 2 {
+		t.Fatalf("reachable set size %d", len(d2))
+	}
+}
+
+func TestBFSDistancesPanicsOnDeadNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Empty(2).BFSDistances(99)
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub := g.InducedSubgraph([]int{0, 2, 4, 4, 99}) // dup + dead ignored
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes %d", sub.NumNodes())
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("edges %d, want triangle", sub.NumEdges())
+	}
+	if err := sub.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Node IDs preserved.
+	ids := sub.Nodes()
+	sort.Ints(ids)
+	if ids[0] != 0 || ids[1] != 2 || ids[2] != 4 {
+		t.Fatalf("ids %v", ids)
+	}
+	// Original untouched.
+	if g.NumNodes() != 5 || g.NumEdges() != 10 {
+		t.Fatal("source graph mutated")
+	}
+}
+
+func TestInducedSubgraphMatchesModel(t *testing.T) {
+	// The model's "subgraph induced by m random nodes" (Thm. 2) built
+	// explicitly must agree with GreedyMIS on the full graph restricted
+	// to the sample — for a fixed order both commit the same nodes.
+	r := rng.New(1)
+	g := RandomGNM(r, 60, 200)
+	for trial := 0; trial < 30; trial++ {
+		order := g.SampleNodes(r, 25)
+		sub := g.InducedSubgraph(order)
+		selFull, _ := GreedyMIS(g, order)
+		selSub, _ := GreedyMIS(sub, order)
+		if len(selFull) != len(selSub) {
+			t.Fatalf("trial %d: %d vs %d commits", trial, len(selFull), len(selSub))
+		}
+		for i := range selFull {
+			if selFull[i] != selSub[i] {
+				t.Fatalf("trial %d: committed sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if got := Star(9).MaxDegree(); got != 8 {
+		t.Fatalf("star: %d", got)
+	}
+	if got := New().MaxDegree(); got != 0 {
+		t.Fatalf("null: %d", got)
+	}
+}

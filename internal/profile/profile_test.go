@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestProfileDrains(t *testing.T) {
+	r := rng.New(1)
+	g := graph.RandomGNM(r, 150, 450)
+	pts := Profile(g, r, nil, 3, 1000)
+	if len(pts) == 0 {
+		t.Fatal("no profile points")
+	}
+	if g.NumNodes() != 0 {
+		t.Fatalf("%d nodes left after profile", g.NumNodes())
+	}
+	if pts[0].Live != 150 {
+		t.Fatalf("first point live = %d", pts[0].Live)
+	}
+	// Live counts strictly decrease with no mutator.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Live >= pts[i-1].Live {
+			t.Fatalf("live did not decrease at step %d", i)
+		}
+	}
+	// Parallelism estimate is at least the Turán bound at each step.
+	for _, p := range pts {
+		if p.Live > 0 && p.Parallelism < float64(p.Live)/(p.AvgDegree+1)*0.95 {
+			t.Errorf("step %d: parallelism %v below Turán bound", p.Step, p.Parallelism)
+		}
+	}
+}
+
+func TestProfileWithMutatorRegrowth(t *testing.T) {
+	r := rng.New(2)
+	g := graph.Empty(10)
+	grown := 0
+	mut := sched.MutatorFunc(func(g *graph.Graph, committed []int, r *rng.Rand) {
+		if grown < 50 {
+			for range committed {
+				g.AddNode()
+				grown++
+			}
+		}
+	})
+	pts := Profile(g, r, mut, 2, 100)
+	if grown != 50 {
+		t.Fatalf("mutator grew %d nodes", grown)
+	}
+	total := 0
+	for i := 0; i < len(pts); i++ {
+		total++
+	}
+	if total < 2 {
+		t.Fatal("regrowth should extend the profile")
+	}
+}
+
+func TestProfileMaxSteps(t *testing.T) {
+	r := rng.New(3)
+	g := graph.Complete(50) // drains one node per step
+	pts := Profile(g, r, nil, 1, 10)
+	if len(pts) != 10 {
+		t.Fatalf("profile has %d points, want maxSteps=10", len(pts))
+	}
+}
+
+func TestPhaseShifter(t *testing.T) {
+	r := rng.New(4)
+	ps := NewPhaseShifter(r, []PhaseSpec{
+		{Rounds: 3, N: 100, Degree: 2},
+		{Rounds: 2, N: 500, Degree: 8},
+		{Rounds: 2, N: 50, Degree: 20},
+	})
+	if ps.Graph().NumNodes() != 100 {
+		t.Fatalf("phase 0 graph n=%d", ps.Graph().NumNodes())
+	}
+	transitions := 0
+	for i := 0; i < 3; i++ {
+		if ps.Tick() {
+			transitions++
+		}
+	}
+	if transitions != 1 || ps.Phase() != 1 {
+		t.Fatalf("after 3 ticks: transitions=%d phase=%d", transitions, ps.Phase())
+	}
+	if ps.Graph().NumNodes() != 500 {
+		t.Fatalf("phase 1 graph n=%d", ps.Graph().NumNodes())
+	}
+	ps.Tick()
+	if !ps.Tick() {
+		t.Fatal("expected transition to phase 2")
+	}
+	if ps.Graph().NumNodes() != 50 {
+		t.Fatalf("phase 2 graph n=%d", ps.Graph().NumNodes())
+	}
+	ps.Tick()
+	ps.Tick()
+	if !ps.Done() {
+		t.Fatal("all phases elapsed but not Done")
+	}
+	// Ticking when done is a no-op.
+	if ps.Tick() {
+		t.Fatal("transition after done")
+	}
+}
+
+func TestPhaseShifterEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPhaseShifter(rng.New(1), nil)
+}

@@ -1,0 +1,8 @@
+package rng
+
+import "math"
+
+// Thin wrappers keep the hot functions in rng.go free of package-qualified
+// calls; they also pin the exact stdlib functions the distributions rely on.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func logf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,14 @@
+package rng
+
+import mrand "math/rand"
+
+// source adapts Rand to math/rand.Source64 so testing/quick property tests
+// can be driven from the repository's deterministic generator.
+type source struct{ r *Rand }
+
+func (s source) Int63() int64    { return s.r.Int63() }
+func (s source) Uint64() uint64  { return s.r.Uint64() }
+func (s source) Seed(seed int64) { *s.r = *New(uint64(seed)) }
+
+// stdRandFor wraps r as a *math/rand.Rand for use with testing/quick.
+func stdRandFor(r *Rand) *mrand.Rand { return mrand.New(source{r}) }

@@ -1,0 +1,232 @@
+// Package sched implements the paper's scheduler model (§2) on a CC
+// graph: at each temporal step the system picks m live nodes uniformly at
+// random (the active nodes), runs them "speculatively", and resolves
+// conflicts in random commit order — a node aborts iff an earlier
+// *committed* active node is its neighbor, so the committed set is the
+// greedy maximal independent set of the induced subgraph in permutation
+// order (Fig. 1). Committed nodes leave the graph; an application hook
+// may then mutate the neighborhood (add nodes/edges), modelling amorphous
+// data-parallel work generation.
+//
+// The package also provides the estimators for the conflict-ratio
+// function r̄(m) of Eq. 1: Monte Carlo for real graphs and exact
+// enumeration for small ones (used as a test oracle for Props. 1–2).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Mutator is the application hook invoked after each round with the nodes
+// that committed. Implementations typically add new nodes and conflict
+// edges (newly generated work) or rewire neighborhoods. A nil Mutator
+// leaves the graph to simply drain.
+type Mutator interface {
+	AfterRound(g *graph.Graph, committed []int, r *rng.Rand)
+}
+
+// MutatorFunc adapts a function to the Mutator interface.
+type MutatorFunc func(g *graph.Graph, committed []int, r *rng.Rand)
+
+// AfterRound implements Mutator.
+func (f MutatorFunc) AfterRound(g *graph.Graph, committed []int, r *rng.Rand) {
+	f(g, committed, r)
+}
+
+// RoundResult reports one temporal step of the model.
+type RoundResult struct {
+	Launched  int   // m: active nodes selected
+	Committed []int // nodes that committed (greedy MIS in commit order)
+	Aborted   []int // nodes that aborted (k of them)
+}
+
+// ConflictRatio returns k/m for the round, the paper's r_t. A round with
+// no launched work has ratio 0.
+func (rr RoundResult) ConflictRatio() float64 {
+	if rr.Launched == 0 {
+		return 0
+	}
+	return float64(len(rr.Aborted)) / float64(rr.Launched)
+}
+
+// Scheduler drives the round-based model over a mutable CC graph.
+type Scheduler struct {
+	G   *graph.Graph
+	R   *rng.Rand
+	Mut Mutator // optional
+
+	// Rounds executed and cumulative counters, for reporting.
+	Steps          int
+	TotalLaunched  int
+	TotalCommitted int
+	TotalAborted   int
+}
+
+// New returns a scheduler over g using the given generator.
+func New(g *graph.Graph, r *rng.Rand) *Scheduler {
+	return &Scheduler{G: g, R: r}
+}
+
+// Step runs one temporal step with m processors: it selects min(m, live)
+// active nodes uniformly at random, resolves conflicts in commit order,
+// removes committed nodes from the graph, and invokes the mutator.
+func (s *Scheduler) Step(m int) RoundResult {
+	if m < 0 {
+		panic(fmt.Sprintf("sched: negative m = %d", m))
+	}
+	order := s.G.SampleNodes(s.R, m)
+	committed, aborted := graph.GreedyMIS(s.G, order)
+	for _, v := range committed {
+		s.G.RemoveNode(v)
+	}
+	if s.Mut != nil {
+		s.Mut.AfterRound(s.G, committed, s.R)
+	}
+	s.Steps++
+	s.TotalLaunched += len(order)
+	s.TotalCommitted += len(committed)
+	s.TotalAborted += len(aborted)
+	return RoundResult{Launched: len(order), Committed: committed, Aborted: aborted}
+}
+
+// Done reports whether no work remains.
+func (s *Scheduler) Done() bool { return s.G.NumNodes() == 0 }
+
+// OverallConflictRatio returns aggregate aborted/launched across all
+// steps so far (0 if nothing launched).
+func (s *Scheduler) OverallConflictRatio() float64 {
+	if s.TotalLaunched == 0 {
+		return 0
+	}
+	return float64(s.TotalAborted) / float64(s.TotalLaunched)
+}
+
+// ConflictRatioMC estimates r̄(m) (Eq. 1) for the *static* graph g by
+// Monte Carlo: it repeatedly samples a random length-m permutation prefix
+// and counts greedy-MIS rejections, without mutating g. reps must be
+// positive.
+func ConflictRatioMC(g *graph.Graph, r *rng.Rand, m, reps int) float64 {
+	if reps <= 0 {
+		panic("sched: ConflictRatioMC requires positive reps")
+	}
+	if m <= 0 {
+		return 0
+	}
+	n := g.NumNodes()
+	mm := m
+	if mm > n {
+		mm = n
+	}
+	if mm == 0 {
+		return 0
+	}
+	totalAborts := 0
+	var scratch graph.MISScratch
+	for i := 0; i < reps; i++ {
+		order := g.SampleNodes(r, mm)
+		totalAborts += mm - scratch.Size(g, order)
+	}
+	return float64(totalAborts) / float64(reps*mm)
+}
+
+// ExpectedCommittedMC estimates EM_m(G) — the expected committed count
+// per round — by Monte Carlo on the static graph.
+func ExpectedCommittedMC(g *graph.Graph, r *rng.Rand, m, reps int) float64 {
+	return graph.ExpectedInducedMISMonteCarlo(g, r, m, reps)
+}
+
+// ConflictRatioDistMC estimates the mean and standard deviation of the
+// per-round conflict ratio r_t at the given m — the §4.1 observation
+// that "r_t can have a big variance, especially when m is small" is the
+// reason Algorithm 1 averages over T rounds and tunes small m
+// separately. Returns (mean, std).
+func ConflictRatioDistMC(g *graph.Graph, r *rng.Rand, m, reps int) (float64, float64) {
+	if reps <= 1 {
+		panic("sched: ConflictRatioDistMC requires reps > 1")
+	}
+	n := g.NumNodes()
+	mm := m
+	if mm > n {
+		mm = n
+	}
+	if mm <= 0 {
+		return 0, 0
+	}
+	var acc stats.Accumulator
+	var scratch graph.MISScratch
+	for i := 0; i < reps; i++ {
+		order := g.SampleNodes(r, mm)
+		aborts := mm - scratch.Size(g, order)
+		acc.Add(float64(aborts) / float64(mm))
+	}
+	return acc.Mean(), acc.StdDev()
+}
+
+// ExactConflictRatio computes r̄(m) exactly by enumerating every ordered
+// selection of m distinct nodes (n!/(n−m)! orders). It is exponential and
+// intended as a test oracle for graphs with at most ~9 nodes.
+func ExactConflictRatio(g *graph.Graph, m int) float64 {
+	n := g.NumNodes()
+	if m <= 0 || n == 0 {
+		return 0
+	}
+	if m > n {
+		m = n
+	}
+	nodes := g.Nodes()
+	used := make([]bool, n)
+	order := make([]int, 0, m)
+	var totalAborts, totalOrders int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == m {
+			totalOrders++
+			totalAborts += int64(m - graph.GreedyMISSize(g, order))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			order = append(order, nodes[i])
+			rec(depth + 1)
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+	}
+	rec(0)
+	return float64(totalAborts) / (float64(totalOrders) * float64(m))
+}
+
+// ExactExpectedAborts computes k̄(m) exactly by enumeration (same cost
+// caveats as ExactConflictRatio).
+func ExactExpectedAborts(g *graph.Graph, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	n := g.NumNodes()
+	if m > n {
+		m = n
+	}
+	return ExactConflictRatio(g, m) * float64(m)
+}
+
+// CurvePoint is one sample of the conflict-ratio curve.
+type CurvePoint struct {
+	M     int
+	Ratio float64
+}
+
+// ConflictCurve samples r̄(m) at the given m values by Monte Carlo.
+func ConflictCurve(g *graph.Graph, r *rng.Rand, ms []int, reps int) []CurvePoint {
+	out := make([]CurvePoint, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, CurvePoint{M: m, Ratio: ConflictRatioMC(g, r, m, reps)})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package speculation
+
+import (
+	"sync"
+
+	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// AdaptiveResult records a closed-loop run of the executor under a
+// processor-allocation controller, including the cost accounting the
+// paper's introduction motivates: every launched task occupies a
+// processor for the round whether it commits or aborts, so wasted
+// launches burn both time and power.
+type AdaptiveResult struct {
+	Controller string
+	M          []int     // processors requested per round
+	R          []float64 // conflict ratio observed per round
+	Committed  []int     // commits per round
+	Rounds     int
+
+	UsefulWork int // total committed tasks
+	WastedWork int // total aborted executions (incl. premature, if ordered)
+	ProcRounds int // Σ launched: processor-time (and power) proxy
+}
+
+// Efficiency returns useful work per processor-round (1.0 = no waste,
+// 0 for an empty run).
+func (a *AdaptiveResult) Efficiency() float64 {
+	if a.ProcRounds == 0 {
+		return 0
+	}
+	return float64(a.UsefulWork) / float64(a.ProcRounds)
+}
+
+// MeanConflictRatio returns the unweighted mean of the per-round
+// conflict ratios (0 for an empty run).
+func (a *AdaptiveResult) MeanConflictRatio() float64 {
+	if len(a.R) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, r := range a.R {
+		total += r
+	}
+	return total / float64(len(a.R))
+}
+
+// RunAdaptive drives the executor with controller c until the work-set
+// drains or maxRounds elapse, feeding each round's measured conflict
+// ratio back to the controller — the paper's Algorithm 1 main loop
+// running on a real speculative runtime instead of the graph model.
+func RunAdaptive(e *Executor, c control.Controller, maxRounds int) *AdaptiveResult {
+	res := &AdaptiveResult{Controller: c.Name()}
+	for round := 0; round < maxRounds && e.Pending() > 0; round++ {
+		m := c.M()
+		st := e.Round(m)
+		r := st.ConflictRatio()
+		res.M = append(res.M, m)
+		res.R = append(res.R, r)
+		res.Committed = append(res.Committed, st.Committed)
+		res.UsefulWork += st.Committed
+		res.WastedWork += st.Aborted
+		res.ProcRounds += st.Launched
+		res.Rounds++
+		c.Observe(r)
+	}
+	return res
+}
+
+// RunAdaptiveOrdered drives the ordered executor under controller c —
+// processor allocation for ordered algorithms, the paper's §5 future
+// work. The controller consumes the combined wasted-work ratio
+// (conflicts + premature executions).
+func RunAdaptiveOrdered(e *OrderedExecutor, c control.Controller, maxRounds int) *AdaptiveResult {
+	res := &AdaptiveResult{Controller: c.Name()}
+	for round := 0; round < maxRounds && e.Pending() > 0; round++ {
+		m := c.M()
+		st := e.Round(m)
+		r := st.ConflictRatio()
+		res.M = append(res.M, m)
+		res.R = append(res.R, r)
+		res.Committed = append(res.Committed, st.Committed)
+		res.UsefulWork += st.Committed
+		res.WastedWork += st.Aborted()
+		res.ProcRounds += st.Launched
+		res.Rounds++
+		c.Observe(r)
+	}
+	return res
+}
+
+// GraphWorkload lifts a CC graph into runtime tasks so the goroutine
+// executor can run the same experiments as the model simulator: one task
+// per node; adjacent tasks genuinely conflict (they race to lock the
+// shared per-edge item), non-adjacent tasks never do. Committed tasks
+// remove their node at commit time.
+type GraphWorkload struct {
+	mu        sync.Mutex
+	g         *graph.Graph
+	nodeItems map[int]*Item
+	edgeItems map[[2]int]*Item
+}
+
+// NewGraphWorkload wraps g (which it owns from now on).
+func NewGraphWorkload(g *graph.Graph) *GraphWorkload {
+	return &GraphWorkload{
+		g:         g,
+		nodeItems: make(map[int]*Item),
+		edgeItems: make(map[[2]int]*Item),
+	}
+}
+
+// Graph exposes the underlying graph for inspection between rounds.
+func (wl *GraphWorkload) Graph() *graph.Graph { return wl.g }
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (wl *GraphWorkload) nodeItem(v int) *Item {
+	if it, ok := wl.nodeItems[v]; ok {
+		return it
+	}
+	it := NewItem(int64(v))
+	wl.nodeItems[v] = it
+	return it
+}
+
+func (wl *GraphWorkload) edgeItem(u, v int) *Item {
+	k := edgeKey(u, v)
+	if it, ok := wl.edgeItems[k]; ok {
+		return it
+	}
+	it := NewItem(int64(k[0])<<32 | int64(k[1]))
+	wl.edgeItems[k] = it
+	return it
+}
+
+// TaskFor returns the speculative task processing node v.
+func (wl *GraphWorkload) TaskFor(v int) Task {
+	return TaskFunc(func(ctx *Ctx) error {
+		// Snapshot the neighborhood under the structural lock; the
+		// graph does not mutate during a round (mutation is deferred to
+		// commit actions), so the snapshot is round-consistent.
+		wl.mu.Lock()
+		if !wl.g.Has(v) {
+			// Node already processed in an earlier round (stale retry);
+			// nothing to do — commit as a no-op.
+			wl.mu.Unlock()
+			return nil
+		}
+		items := []*Item{wl.nodeItem(v)}
+		wl.g.EachNeighbor(v, func(u int) {
+			items = append(items, wl.edgeItem(v, u))
+		})
+		wl.mu.Unlock()
+
+		if err := ctx.AcquireAll(items...); err != nil {
+			return err
+		}
+		ctx.OnCommit(func() {
+			wl.mu.Lock()
+			defer wl.mu.Unlock()
+			wl.g.EachNeighbor(v, func(u int) {
+				delete(wl.edgeItems, edgeKey(v, u))
+			})
+			delete(wl.nodeItems, v)
+			wl.g.RemoveNode(v)
+		})
+		return nil
+	})
+}
+
+// Populate adds one task per live node to the executor.
+func (wl *GraphWorkload) Populate(e *Executor) {
+	for _, v := range wl.g.Nodes() {
+		e.Add(wl.TaskFor(v))
+	}
+}
+
+// NewGraphExecutor builds an executor over the workload with the model's
+// uniform-random task selection, seeded from r.
+func NewGraphExecutor(wl *GraphWorkload, r *rng.Rand) *Executor {
+	var mu sync.Mutex
+	e := NewExecutor(func(n int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Intn(n)
+	})
+	wl.Populate(e)
+	return e
+}

@@ -1,0 +1,149 @@
+package speculation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestGraphWorkloadDrains(t *testing.T) {
+	r := rng.New(1)
+	g := graph.RandomGNM(r, 200, 600)
+	wl := NewGraphWorkload(g)
+	e := NewGraphExecutor(wl, r.Split())
+	rounds := 0
+	for e.Pending() > 0 {
+		e.Round(16)
+		rounds++
+		if rounds > 5000 {
+			t.Fatal("workload did not drain")
+		}
+	}
+	if wl.Graph().NumNodes() != 0 {
+		t.Fatalf("%d nodes survive", wl.Graph().NumNodes())
+	}
+	if e.TotalCommitted != 200 {
+		t.Fatalf("committed %d, want 200", e.TotalCommitted)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphWorkloadAdjacentConflict(t *testing.T) {
+	// Two adjacent nodes launched together: exactly one commits.
+	oneCommits := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		g := graph.Path(2)
+		wl := NewGraphWorkload(g)
+		e := NewExecutor(nil)
+		wl.Populate(e)
+		st := e.Round(2)
+		if st.Committed == 1 && st.Aborted == 1 {
+			oneCommits++
+		}
+	}
+	if oneCommits != trials {
+		t.Fatalf("adjacent pair committed together in %d/%d trials", trials-oneCommits, trials)
+	}
+}
+
+func TestGraphWorkloadIndependentNoConflict(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		g := graph.Empty(8)
+		wl := NewGraphWorkload(g)
+		e := NewExecutor(nil)
+		wl.Populate(e)
+		st := e.Round(8)
+		if st.Aborted != 0 || st.Committed != 8 {
+			t.Fatalf("independent tasks conflicted: %+v", st)
+		}
+	}
+}
+
+// The runtime's measured conflict ratio on a clique union must agree
+// with the model's closed form (Thm. 3) — the end-to-end fidelity check
+// tying goroutine execution back to the paper's mathematics.
+func TestRuntimeConflictRatioMatchesModel(t *testing.T) {
+	const n, d, m = 120, 5, 30
+	want := 0.0
+	{
+		r := rng.New(7)
+		knd := graph.CliqueUnion(n, d)
+		want = sched.ConflictRatioMC(knd, r, m, 3000)
+	}
+	r := rng.New(8)
+	total, launched := 0, 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		g := graph.CliqueUnion(n, d)
+		wl := NewGraphWorkload(g)
+		e := NewGraphExecutor(wl, r.Split())
+		st := e.Round(m) // one round on the fresh graph
+		total += st.Aborted
+		launched += st.Launched
+	}
+	got := float64(total) / float64(launched)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("runtime ratio %v vs model %v", got, want)
+	}
+}
+
+func TestRunAdaptiveDrainsAndTracks(t *testing.T) {
+	r := rng.New(2)
+	g := graph.RandomWithAvgDegree(r, 800, 10)
+	wl := NewGraphWorkload(g)
+	e := NewGraphExecutor(wl, r.Split())
+	h := control.NewHybrid(control.DefaultHybridConfig(0.25))
+	res := RunAdaptive(e, h, 100000)
+	if e.Pending() != 0 {
+		t.Fatal("adaptive run did not drain")
+	}
+	totalCommitted := 0
+	for _, c := range res.Committed {
+		totalCommitted += c
+	}
+	if totalCommitted != 800 {
+		t.Fatalf("committed %d, want 800", totalCommitted)
+	}
+	if res.Rounds != len(res.M) || res.Rounds != len(res.R) {
+		t.Fatal("trajectory misrecorded")
+	}
+	if res.MeanConflictRatio() < 0 || res.MeanConflictRatio() >= 1 {
+		t.Fatalf("mean ratio %v", res.MeanConflictRatio())
+	}
+}
+
+func TestStaleRetryIsNoop(t *testing.T) {
+	// A task whose node was already removed must commit as a no-op
+	// rather than panic or double-remove.
+	g := graph.Empty(1)
+	wl := NewGraphWorkload(g)
+	task := wl.TaskFor(0)
+	e := NewExecutor(nil)
+	e.Add(task)
+	e.Add(task) // same node twice: second execution sees it gone
+	st := e.Round(1)
+	if st.Committed != 1 {
+		t.Fatalf("first run: %+v", st)
+	}
+	st = e.Round(1)
+	if st.Committed != 1 || st.Aborted != 0 {
+		t.Fatalf("stale retry: %+v", st)
+	}
+	if g.NumNodes() != 0 {
+		t.Fatal("node not removed")
+	}
+}
+
+func TestMeanConflictRatioEmpty(t *testing.T) {
+	res := &AdaptiveResult{}
+	if res.MeanConflictRatio() != 0 {
+		t.Fatal("empty run should have ratio 0")
+	}
+}

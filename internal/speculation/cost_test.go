@@ -1,0 +1,118 @@
+package speculation
+
+import (
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestAdaptiveResultAccounting(t *testing.T) {
+	r := rng.New(1)
+	g := graph.RandomWithAvgDegree(r, 400, 12)
+	wl := NewGraphWorkload(g)
+	e := NewGraphExecutor(wl, r.Split())
+	res := RunAdaptive(e, control.NewHybrid(control.DefaultHybridConfig(0.25)), 100000)
+	if res.UsefulWork != 400 {
+		t.Fatalf("useful work %d, want 400", res.UsefulWork)
+	}
+	if res.ProcRounds != res.UsefulWork+res.WastedWork {
+		t.Fatalf("accounting identity broken: %d != %d + %d",
+			res.ProcRounds, res.UsefulWork, res.WastedWork)
+	}
+	if eff := res.Efficiency(); eff <= 0 || eff > 1 {
+		t.Fatalf("efficiency %v out of (0,1]", eff)
+	}
+	empty := &AdaptiveResult{}
+	if empty.Efficiency() != 0 {
+		t.Fatal("empty run efficiency should be 0")
+	}
+}
+
+// The paper's core trade-off: a grossly over-provisioned fixed
+// allocation wastes far more processor-rounds than the adaptive
+// controller on the same workload, at comparable makespan (rounds).
+func TestAdaptiveBeatsOverprovisionedFixed(t *testing.T) {
+	run := func(c control.Controller, seed uint64) *AdaptiveResult {
+		r := rng.New(seed)
+		g := graph.RandomWithAvgDegree(r, 1500, 24)
+		wl := NewGraphWorkload(g)
+		e := NewGraphExecutor(wl, r.Split())
+		return RunAdaptive(e, c, 100000)
+	}
+	adaptive := run(control.NewHybrid(control.DefaultHybridConfig(0.25)), 7)
+	fixedBig := run(control.Fixed{Procs: 1024}, 7)
+
+	if adaptive.UsefulWork != 1500 || fixedBig.UsefulWork != 1500 {
+		t.Fatal("both runs must complete the same work")
+	}
+	if adaptive.WastedWork >= fixedBig.WastedWork {
+		t.Fatalf("adaptive wasted %d >= fixed-1024 wasted %d",
+			adaptive.WastedWork, fixedBig.WastedWork)
+	}
+	if adaptive.Efficiency() <= fixedBig.Efficiency() {
+		t.Fatalf("adaptive efficiency %v not above fixed-1024 %v",
+			adaptive.Efficiency(), fixedBig.Efficiency())
+	}
+	// And a starved fixed allocation is slow: many more rounds.
+	fixedTiny := run(control.Fixed{Procs: 2}, 7)
+	if fixedTiny.Rounds <= 2*adaptive.Rounds {
+		t.Fatalf("fixed-2 rounds %d not much slower than adaptive %d",
+			fixedTiny.Rounds, adaptive.Rounds)
+	}
+}
+
+// With a mutator-style regrowth workload (committed work spawns new
+// conflicting work, like refinement creating new bad triangles), the
+// controller keeps the ratio near target through the regrowth phase.
+func TestAdaptiveUnderRegrowth(t *testing.T) {
+	r := rng.New(3)
+	g := graph.RandomWithAvgDegree(r, 300, 8)
+	wl := NewGraphWorkload(g)
+	e := NewGraphExecutor(wl, r.Split())
+
+	// Wrap each task so committing regrows up to a budget: a committed
+	// node spawns a fresh node wired to ~8 random survivors.
+	budget := 600
+	var regrow func() Task
+	regrow = func() Task {
+		return TaskFunc(func(ctx *Ctx) error {
+			ctx.OnCommit(func() {
+				if budget <= 0 {
+					return
+				}
+				budget--
+				gg := wl.Graph()
+				v := gg.AddNode()
+				nodes := gg.Nodes()
+				for i := 0; i < 8 && len(nodes) > 1; i++ {
+					u := nodes[r.Intn(len(nodes))]
+					if u != v && !gg.HasEdge(u, v) {
+						gg.AddEdge(u, v)
+					}
+				}
+				e.Add(wl.TaskFor(v))
+				e.Add(regrow())
+			})
+			return nil
+		})
+	}
+	// Seed regrowth triggers alongside the initial population.
+	for i := 0; i < 50; i++ {
+		e.Add(regrow())
+	}
+	res := RunAdaptive(e, control.NewHybrid(control.DefaultHybridConfig(0.25)), 200000)
+	if e.Pending() != 0 {
+		t.Fatal("regrowth workload did not drain")
+	}
+	if budget != 0 {
+		t.Fatalf("regrowth budget remaining: %d", budget)
+	}
+	if res.UsefulWork < 300+600 {
+		t.Fatalf("useful work %d below node count", res.UsefulWork)
+	}
+	if err := wl.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+package speculation
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements the *ordered* speculative executor — the paper's
+// §5 future work: "it would be extremely valuable to obtain similar
+// results for the more general and difficult case of ordered algorithms
+// (e.g., discrete event simulation)". Tasks carry priorities (e.g.,
+// event timestamps) and must commit in priority order.
+//
+// Execution is optimistic and round-structured, so the same
+// processor-allocation controllers apply:
+//
+//  1. Phase 1 (parallel): the m earliest pending tasks run
+//     concurrently. Ordered tasks are *cautious by construction*: they
+//     read shared state, Claim the items they touch, and defer every
+//     mutation to OnCommit. Nothing aborts in this phase.
+//  2. Phase 2 (serial, in priority order): a task commits iff no
+//     earlier-priority task of the round claimed one of its items
+//     (conflict) and no already-committed task of the round spawned
+//     work that precedes it (premature execution — the Time-Warp
+//     causality hazard). Losers are requeued; their phase-1 work is the
+//     wasted speculation the conflict ratio measures.
+
+// Key is a total-order priority: primary the float Time, ties broken by
+// the deterministic Tie tag. Lower keys commit first.
+type Key struct {
+	Time float64
+	Tie  uint64
+}
+
+// Less orders keys lexicographically.
+func (k Key) Less(o Key) bool {
+	if k.Time != o.Time {
+		return k.Time < o.Time
+	}
+	return k.Tie < o.Tie
+}
+
+// MaxKey is larger than every real key.
+var MaxKey = Key{Time: math.Inf(1), Tie: math.MaxUint64}
+
+// OrderedTask is a prioritized unit of speculative work.
+type OrderedTask interface {
+	// Key returns the task's commit priority. It must be constant for
+	// the lifetime of the task.
+	Key() Key
+	// Run executes the read/claim phase. It must not mutate shared
+	// state: reads are unsynchronized against other phase-1 tasks, so
+	// all writes belong in ctx.OnCommit. A non-nil error is a
+	// programming error and panics the executor.
+	Run(ctx *OrderedCtx) error
+}
+
+// OrderedCtx is the phase-1 context handed to ordered tasks.
+type OrderedCtx struct {
+	claims   []*Item
+	spawned  []OrderedTask
+	spawnFns []func() []OrderedTask
+	onCommit []func()
+}
+
+// Claim registers intent to touch it; two same-round tasks claiming the
+// same item conflict, and the later-priority one aborts.
+func (c *OrderedCtx) Claim(items ...*Item) {
+	c.claims = append(c.claims, items...)
+}
+
+// Spawn schedules t if the current task commits. The spawn's key must
+// be strictly greater than the spawning task's key (causality); this is
+// checked at commit time.
+func (c *OrderedCtx) Spawn(t OrderedTask) { c.spawned = append(c.spawned, t) }
+
+// SpawnAtCommit registers a function producing follow-up tasks at
+// commit time — for workloads (like discrete-event simulation) where
+// the spawned work depends on state that only the serial commit phase
+// may read. The returned tasks obey the same causality rule as Spawn.
+func (c *OrderedCtx) SpawnAtCommit(fn func() []OrderedTask) {
+	c.spawnFns = append(c.spawnFns, fn)
+}
+
+// OnCommit registers a mutation to apply serially if the task commits.
+func (c *OrderedCtx) OnCommit(fn func()) { c.onCommit = append(c.onCommit, fn) }
+
+// OrderedRoundStats reports one round of the ordered executor.
+type OrderedRoundStats struct {
+	Launched  int
+	Committed int
+	Conflicts int // aborted: lost an item to an earlier task
+	Premature int // aborted: ran ahead of newly spawned earlier work
+	Spawned   int
+}
+
+// Aborted returns total wasted executions of the round.
+func (s OrderedRoundStats) Aborted() int { return s.Conflicts + s.Premature }
+
+// ConflictRatio returns wasted/launched — the r_t fed to controllers.
+func (s OrderedRoundStats) ConflictRatio() float64 {
+	if s.Launched == 0 {
+		return 0
+	}
+	return float64(s.Aborted()) / float64(s.Launched)
+}
+
+// taskHeap is a min-heap of ordered tasks by key.
+type taskHeap []OrderedTask
+
+func (h taskHeap) Len() int            { return len(h) }
+func (h taskHeap) Less(i, j int) bool  { return h[i].Key().Less(h[j].Key()) }
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(OrderedTask)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// OrderedExecutor runs prioritized tasks optimistically with in-order
+// commits.
+type OrderedExecutor struct {
+	mu      sync.Mutex
+	pending taskHeap
+
+	// MaxParallel bounds phase-1 concurrency (0 = one goroutine per
+	// task).
+	MaxParallel int
+
+	TotalLaunched  int64
+	TotalCommitted int64
+	TotalConflicts int64
+	TotalPremature int64
+}
+
+// NewOrderedExecutor returns an empty ordered executor.
+func NewOrderedExecutor() *OrderedExecutor {
+	return &OrderedExecutor{}
+}
+
+// Add inserts a task.
+func (e *OrderedExecutor) Add(t OrderedTask) {
+	e.mu.Lock()
+	heap.Push(&e.pending, t)
+	e.mu.Unlock()
+}
+
+// Pending returns the number of queued tasks.
+func (e *OrderedExecutor) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// NextKey returns the smallest pending key (MaxKey when empty) — the
+// ordered analogue of global virtual time.
+func (e *OrderedExecutor) NextKey() Key {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pending) == 0 {
+		return MaxKey
+	}
+	return e.pending[0].Key()
+}
+
+// Round speculatively executes the m earliest pending tasks and commits
+// the safe prefix in priority order.
+func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
+	if m < 0 {
+		panic("speculation: negative ordered round size")
+	}
+	e.mu.Lock()
+	if m > len(e.pending) {
+		m = len(e.pending)
+	}
+	batch := make([]OrderedTask, 0, m)
+	for i := 0; i < m; i++ {
+		batch = append(batch, heap.Pop(&e.pending).(OrderedTask))
+	}
+	e.mu.Unlock()
+	if len(batch) == 0 {
+		return OrderedRoundStats{}
+	}
+
+	// Phase 1: parallel speculative execution (read + claim only).
+	ctxs := make([]*OrderedCtx, len(batch))
+	limit := e.MaxParallel
+	if limit <= 0 || limit > len(batch) {
+		limit = len(batch)
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i, t := range batch {
+		wg.Add(1)
+		go func(i int, t OrderedTask) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ctx := &OrderedCtx{}
+			if err := t.Run(ctx); err != nil {
+				panic(fmt.Sprintf("speculation: ordered task failed: %v", err))
+			}
+			ctxs[i] = ctx
+		}(i, t)
+	}
+	wg.Wait()
+
+	// Phase 2: serial commit walk in priority order. The batch was
+	// popped from a heap, so sort it (heap pops were in order already —
+	// popping yields ascending keys, so batch is sorted by
+	// construction).
+	stats := OrderedRoundStats{Launched: len(batch)}
+	claimed := make(map[*Item]bool)
+	minSpawn := MaxKey
+	var requeue []OrderedTask
+	stopped := false
+	for i, t := range batch {
+		ctx := ctxs[i]
+		if stopped {
+			// A task before this one failed to commit. Its re-execution
+			// may spawn events that precede this one, so chronological
+			// safety forbids committing anything past the first failure:
+			// the committed set must be a prefix of the batch.
+			stats.Premature++
+			requeue = append(requeue, t)
+			continue
+		}
+		if minSpawn.Less(t.Key()) {
+			// Earlier work was generated by a committed task: this
+			// execution ran ahead of it and must be redone.
+			stats.Premature++
+			requeue = append(requeue, t)
+			stopped = true
+			continue
+		}
+		conflict := false
+		for _, it := range ctx.claims {
+			if claimed[it] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			stats.Conflicts++
+			requeue = append(requeue, t)
+			stopped = true
+			continue
+		}
+		// Commit: apply mutations, book claims, surface spawns.
+		for _, fn := range ctx.onCommit {
+			fn()
+		}
+		for _, it := range ctx.claims {
+			claimed[it] = true
+		}
+		spawned := ctx.spawned
+		for _, fn := range ctx.spawnFns {
+			spawned = append(spawned, fn()...)
+		}
+		for _, s := range spawned {
+			if !t.Key().Less(s.Key()) {
+				panic(fmt.Sprintf("speculation: spawn key %+v not after parent %+v",
+					s.Key(), t.Key()))
+			}
+			if s.Key().Less(minSpawn) {
+				minSpawn = s.Key()
+			}
+			requeue = append(requeue, s)
+			stats.Spawned++
+		}
+		stats.Committed++
+	}
+	e.mu.Lock()
+	for _, t := range requeue {
+		heap.Push(&e.pending, t)
+	}
+	e.TotalLaunched += int64(stats.Launched)
+	e.TotalCommitted += int64(stats.Committed)
+	e.TotalConflicts += int64(stats.Conflicts)
+	e.TotalPremature += int64(stats.Premature)
+	e.mu.Unlock()
+	return stats
+}
+
+// OverallConflictRatio returns cumulative wasted work per launch.
+func (e *OrderedExecutor) OverallConflictRatio() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.TotalLaunched == 0 {
+		return 0
+	}
+	return float64(e.TotalConflicts+e.TotalPremature) / float64(e.TotalLaunched)
+}

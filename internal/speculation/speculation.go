@@ -1,0 +1,367 @@
+// Package speculation implements a Galois-style optimistic parallelization
+// runtime (§1): tasks drawn from a work-set execute speculatively and
+// concurrently on goroutines; conflicts are detected at runtime through
+// exclusive abstract locks on shared items; a conflicting task aborts,
+// rolls back its side effects through an undo log, and is retried in a
+// later round.
+//
+// Execution is round-structured to mirror the paper's model: each round
+// launches m tasks (m chosen by a processor-allocation controller), waits
+// for all of them, and reports the measured conflict ratio r = aborts/m.
+// Locks are held to the end of the round, so intra-round semantics match
+// the model's "a task aborts iff it conflicts with a task that committed
+// before it".
+//
+// The paper assumes conflicting and non-conflicting tasks cost the same
+// (§2, as in Delaunay mesh refinement); the runtime therefore treats an
+// abort as a full processor-round of wasted work in its accounting.
+package speculation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned by Ctx.Acquire when the requested item is held
+// by another in-flight task. Operator code must propagate it (or wrap it)
+// so the executor can roll the task back.
+var ErrConflict = errors.New("speculation: conflict detected")
+
+const noOwner int64 = -1
+
+// Item is a lockable abstract location. Tasks must acquire an item
+// before reading or writing the state it guards. The zero value is not
+// ready; use NewItem.
+type Item struct {
+	owner atomic.Int64
+	// Seq is an optional caller-visible tag (e.g. graph node ID) used in
+	// diagnostics.
+	Seq int64
+}
+
+// NewItem returns an unowned item with the given diagnostic tag.
+func NewItem(seq int64) *Item {
+	it := &Item{Seq: seq}
+	it.owner.Store(noOwner)
+	return it
+}
+
+// Owner returns the ID of the task currently holding the item, or -1.
+func (it *Item) Owner() int64 { return it.owner.Load() }
+
+// Task is a unit of speculative work (one iteration of an amorphous
+// data-parallel loop). Run must acquire every item it touches through
+// ctx and must return ErrConflict (possibly wrapped) when an acquisition
+// fails. Any side effect on shared state must either be registered with
+// ctx.LogUndo or be deferred until all acquisitions are done (the
+// "cautious operator" pattern, which needs no rollback).
+type Task interface {
+	Run(ctx *Ctx) error
+}
+
+// TaskFunc adapts a function to Task.
+type TaskFunc func(ctx *Ctx) error
+
+// Run implements Task.
+func (f TaskFunc) Run(ctx *Ctx) error { return f(ctx) }
+
+// Ctx is the per-execution speculative context handed to Task.Run. It is
+// confined to the executing goroutine and must not escape the Run call.
+type Ctx struct {
+	id       int64
+	acquired []*Item
+	undo     []func()
+	spawned  []Task
+	onCommit []func()
+	aborted  bool
+}
+
+// ID returns the executing task's runtime ID (unique per attempt).
+func (c *Ctx) ID() int64 { return c.id }
+
+// Acquire takes an exclusive abstract lock on it. Acquiring an item the
+// task already holds succeeds. If another task holds it, the acquisition
+// fails with ErrConflict: the caller must unwind and return the error.
+func (c *Ctx) Acquire(it *Item) error {
+	if it.owner.Load() == c.id {
+		return nil
+	}
+	if !it.owner.CompareAndSwap(noOwner, c.id) {
+		c.aborted = true
+		return fmt.Errorf("%w: item %d held by task %d (requester %d)",
+			ErrConflict, it.Seq, it.owner.Load(), c.id)
+	}
+	c.acquired = append(c.acquired, it)
+	return nil
+}
+
+// AcquireAll acquires every item, failing fast on the first conflict.
+func (c *Ctx) AcquireAll(items ...*Item) error {
+	for _, it := range items {
+		if err := c.Acquire(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holds reports whether the task currently holds it.
+func (c *Ctx) Holds(it *Item) bool { return it.owner.Load() == c.id }
+
+// LogUndo registers a compensation action to be executed (in reverse
+// registration order) if the task aborts. Register the undo *before*
+// applying the corresponding mutation.
+func (c *Ctx) LogUndo(fn func()) { c.undo = append(c.undo, fn) }
+
+// Spawn schedules a new task to enter the work-set if and only if the
+// current task commits. Spawns by aborted tasks are discarded as part of
+// rollback — newly generated work is a side effect like any other.
+func (c *Ctx) Spawn(t Task) { c.spawned = append(c.spawned, t) }
+
+// OnCommit registers a commit-time action: it runs serially, after every
+// task of the round has finished and locks have been released, and only
+// if the task committed (Galois-style commit actions). Use it for
+// structural mutations that must not race with other speculative tasks
+// of the same round, e.g. removing a processed node from a shared graph.
+func (c *Ctx) OnCommit(fn func()) { c.onCommit = append(c.onCommit, fn) }
+
+// rollback runs the undo log in reverse order and clears it.
+func (c *Ctx) rollback() {
+	for i := len(c.undo) - 1; i >= 0; i-- {
+		c.undo[i]()
+	}
+	c.undo = nil
+	c.spawned = nil
+	c.onCommit = nil
+}
+
+// release frees every lock the task holds.
+func (c *Ctx) release() {
+	for _, it := range c.acquired {
+		it.owner.Store(noOwner)
+	}
+	c.acquired = nil
+}
+
+// RoundStats reports one executor round.
+type RoundStats struct {
+	Launched  int
+	Committed int
+	Aborted   int
+	Spawned   int // new tasks entering the work-set from committed tasks
+}
+
+// ConflictRatio returns aborts/launched for the round (0 when idle) —
+// the r_t the controller consumes.
+func (s RoundStats) ConflictRatio() float64 {
+	if s.Launched == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(s.Launched)
+}
+
+// HandleSet is the work-set abstraction the executor draws task handles
+// from; implementations define the selection policy (random draws match
+// the paper's model; FIFO/LIFO/chunked are provided by internal/workset).
+type HandleSet interface {
+	Put(h int64)
+	Take(k int) []int64
+	Len() int
+}
+
+// Executor runs tasks speculatively, round by round.
+type Executor struct {
+	mu      sync.Mutex
+	tasks   map[int64]Task
+	ws      HandleSet // nil when pending+randTk are used
+	pending []int64   // task handles awaiting execution
+	nextID  int64
+	randTk  func(n int) int // selection policy: nil = take from tail
+
+	// Cumulative counters across rounds.
+	TotalLaunched  int64
+	TotalCommitted int64
+	TotalAborted   int64
+
+	// MaxParallel bounds the number of concurrently executing
+	// goroutines within a round; 0 means "one goroutine per task",
+	// faithfully simulating one processor per task.
+	MaxParallel int
+}
+
+// NewExecutor returns an empty executor. If pick is non-nil it is used
+// to select pending task indices (e.g. a seeded uniform picker to match
+// the model's random selection); otherwise tasks are taken LIFO.
+func NewExecutor(pick func(n int) int) *Executor {
+	return &Executor{tasks: make(map[int64]Task), randTk: pick}
+}
+
+// NewExecutorWithWorkset returns an executor drawing its task handles
+// from the given work-set policy (see internal/workset), enabling
+// selection-policy studies on real workloads.
+func NewExecutorWithWorkset(ws HandleSet) *Executor {
+	return &Executor{tasks: make(map[int64]Task), ws: ws}
+}
+
+// Add inserts a task into the work-set.
+func (e *Executor) Add(t Task) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.addLocked(t)
+}
+
+func (e *Executor) addLocked(t Task) {
+	id := e.nextID
+	e.nextID++
+	e.tasks[id] = t
+	if e.ws != nil {
+		e.ws.Put(id)
+		return
+	}
+	e.pending = append(e.pending, id)
+}
+
+// Pending returns the number of tasks awaiting execution.
+func (e *Executor) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ws != nil {
+		return e.ws.Len()
+	}
+	return len(e.pending)
+}
+
+// take removes up to m pending handles per the selection policy.
+func (e *Executor) take(m int) []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ws != nil {
+		return e.ws.Take(m)
+	}
+	if m > len(e.pending) {
+		m = len(e.pending)
+	}
+	out := make([]int64, 0, m)
+	for i := 0; i < m; i++ {
+		var j int
+		if e.randTk != nil {
+			j = e.randTk(len(e.pending))
+		} else {
+			j = len(e.pending) - 1
+		}
+		last := len(e.pending) - 1
+		e.pending[j], e.pending[last] = e.pending[last], e.pending[j]
+		out = append(out, e.pending[last])
+		e.pending = e.pending[:last]
+	}
+	return out
+}
+
+// Round launches up to m pending tasks speculatively and waits for all
+// of them. Committed tasks leave the work-set and their spawns enter it;
+// aborted tasks are rolled back and requeued. Locks are released only
+// after every task in the round has finished, preserving the model's
+// commit-order semantics.
+func (e *Executor) Round(m int) RoundStats {
+	if m < 0 {
+		panic("speculation: negative round size")
+	}
+	handles := e.take(m)
+	if len(handles) == 0 {
+		return RoundStats{}
+	}
+
+	type outcome struct {
+		handle int64
+		ctx    *Ctx
+		err    error
+	}
+	results := make([]outcome, len(handles))
+
+	limit := e.MaxParallel
+	if limit <= 0 || limit > len(handles) {
+		limit = len(handles)
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e.mu.Lock()
+			task := e.tasks[h]
+			id := e.nextID // unique attempt ID, distinct from handles
+			e.nextID++
+			e.mu.Unlock()
+			ctx := &Ctx{id: id}
+			err := task.Run(ctx)
+			if err != nil {
+				// Roll back while still holding the locks (compensation
+				// is race-free), then release immediately: in the
+				// model, an aborted task does not block its other
+				// neighbors from committing in the same round.
+				ctx.rollback()
+				ctx.release()
+			}
+			results[i] = outcome{handle: h, ctx: ctx, err: err}
+		}(i, h)
+	}
+	wg.Wait()
+
+	// Round barrier passed: release the committed tasks' locks (aborted
+	// tasks already released on rollback), then run commit actions
+	// serially and account.
+	for _, res := range results {
+		if res.err == nil {
+			res.ctx.release()
+		}
+	}
+	stats := RoundStats{Launched: len(handles)}
+	var commitActions []func()
+	e.mu.Lock()
+	for _, res := range results {
+		if res.err != nil {
+			if !errors.Is(res.err, ErrConflict) {
+				// Non-conflict task errors are programming errors in
+				// operator code; surface them loudly.
+				e.mu.Unlock()
+				panic(fmt.Sprintf("speculation: task failed with non-conflict error: %v", res.err))
+			}
+			stats.Aborted++
+			if e.ws != nil {
+				e.ws.Put(res.handle)
+			} else {
+				e.pending = append(e.pending, res.handle)
+			}
+			continue
+		}
+		stats.Committed++
+		delete(e.tasks, res.handle)
+		for _, t := range res.ctx.spawned {
+			e.addLocked(t)
+			stats.Spawned++
+		}
+		commitActions = append(commitActions, res.ctx.onCommit...)
+	}
+	e.TotalLaunched += int64(stats.Launched)
+	e.TotalCommitted += int64(stats.Committed)
+	e.TotalAborted += int64(stats.Aborted)
+	e.mu.Unlock()
+	for _, fn := range commitActions {
+		fn()
+	}
+	return stats
+}
+
+// OverallConflictRatio returns cumulative aborts/launches.
+func (e *Executor) OverallConflictRatio() float64 {
+	l := atomic.LoadInt64(&e.TotalLaunched)
+	if l == 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&e.TotalAborted)) / float64(l)
+}

@@ -1,0 +1,260 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses rely on: online moment accumulators, confidence intervals,
+// histograms, and time-series summaries.
+//
+// Everything is plain float64 arithmetic over stdlib math; the package has
+// no dependencies and no global state.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes running mean and variance using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddN incorporates x as if observed k times.
+func (a *Accumulator) AddN(x float64, k int) {
+	for i := 0; i < k; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 if empty.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// for the mean (normal approximation, z = 1.96).
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Merge folds another accumulator into a (Chan et al. parallel update).
+// Min/max are combined too.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += delta * float64(b.n) / float64(n)
+	a.n = n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// String renders "mean ± ci95 (n=N)".
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Variance()
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // observations below Lo
+	Over     int // observations at or above Hi
+	binWidth float64
+}
+
+// NewHistogram allocates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Counts:   make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}
+}
+
+// Add places one observation in its bin.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // guard FP edge at Hi
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// Series is an ordered sequence of (x, y) observations, used to record
+// controller trajectories and conflict-ratio curves.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YMean returns the mean of the series' Y values.
+func (s *Series) YMean() float64 { return Mean(s.Y) }
+
+// TailMean returns the mean of the last k Y values (all values if k
+// exceeds the length).
+func (s *Series) TailMean(k int) float64 {
+	if k > len(s.Y) {
+		k = len(s.Y)
+	}
+	if k == 0 {
+		return 0
+	}
+	return Mean(s.Y[len(s.Y)-k:])
+}
+
+// AbsErr returns |a-b|.
+func AbsErr(a, b float64) float64 { return math.Abs(a - b) }
+
+// RelErr returns |a-b| / max(|b|, eps) — the relative error of a against
+// reference b, safe for b near zero.
+func RelErr(a, b float64) float64 {
+	d := math.Abs(b)
+	if d < 1e-12 {
+		d = 1e-12
+	}
+	return math.Abs(a-b) / d
+}

@@ -1,0 +1,181 @@
+// Package trace renders experiment output: TSV tables for figure
+// regeneration (each table matches one paper figure's series) and
+// fixed-width ASCII plots for terminal inspection. Keeping the format
+// plumbing here keeps the experiment code in cmd/ declarative.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a column-oriented data table with a fixed header.
+type Table struct {
+	Name    string
+	Headers []string
+	Rows    [][]float64
+}
+
+// NewTable allocates a table with the given column headers.
+func NewTable(name string, headers ...string) *Table {
+	return &Table{Name: name, Headers: headers}
+}
+
+// AddRow appends one row; the cell count must match the header count.
+func (t *Table) AddRow(cells ...float64) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("trace: row has %d cells, table %q has %d columns",
+			len(cells), t.Name, len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteTSV emits the table as tab-separated values with a comment header.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(t.Headers, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatCell(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// Column returns the values of column i.
+func (t *Table) Column(i int) []float64 {
+	out := make([]float64, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// ASCIIPlot renders series as a crude fixed-size scatter/line chart for
+// terminal output. xs is shared; each series is a labelled y-vector.
+type ASCIIPlot struct {
+	Width, Height int
+	XLabel        string
+	YLabel        string
+	xs            []float64
+	series        []plotSeries
+}
+
+type plotSeries struct {
+	label string
+	ys    []float64
+	mark  byte
+}
+
+var marks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// NewASCIIPlot allocates a plot canvas (sensible minimums enforced).
+func NewASCIIPlot(width, height int) *ASCIIPlot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &ASCIIPlot{Width: width, Height: height}
+}
+
+// SetX sets the shared x-vector.
+func (p *ASCIIPlot) SetX(xs []float64) { p.xs = xs }
+
+// AddSeries registers a labelled y-vector; its length must match xs.
+func (p *ASCIIPlot) AddSeries(label string, ys []float64) {
+	if len(ys) != len(p.xs) {
+		panic(fmt.Sprintf("trace: series %q has %d points, x-axis has %d",
+			label, len(ys), len(p.xs)))
+	}
+	p.series = append(p.series, plotSeries{
+		label: label,
+		ys:    ys,
+		mark:  marks[len(p.series)%len(marks)],
+	})
+}
+
+// Render draws the plot to w.
+func (p *ASCIIPlot) Render(w io.Writer) error {
+	if len(p.xs) == 0 || len(p.series) == 0 {
+		_, err := fmt.Fprintln(w, "(empty plot)")
+		return err
+	}
+	xmin, xmax := minMax(p.xs)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		lo, hi := minMax(s.ys)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		for i, x := range p.xs {
+			cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(p.Width-1)))
+			cy := int(math.Round((s.ys[i] - ymin) / (ymax - ymin) * float64(p.Height-1)))
+			row := p.Height - 1 - cy
+			grid[row][cx] = s.mark
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10.4g ┤\n", ymax); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "%10s │%s\n", "", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10.4g └%s\n", ymin, strings.Repeat("─", p.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %-10.4g%*s%10.4g\n", "", xmin, p.Width-20, "", xmax); err != nil {
+		return err
+	}
+	for _, s := range p.series {
+		if _, err := fmt.Fprintf(w, "%10s  %c = %s\n", "", s.mark, s.label); err != nil {
+			return err
+		}
+	}
+	if p.XLabel != "" || p.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%10s  x: %s, y: %s\n", "", p.XLabel, p.YLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableTSV(t *testing.T) {
+	tbl := NewTable("fig2", "m", "ratio")
+	tbl.AddRow(1, 0)
+	tbl.AddRow(10, 0.123456789)
+	var sb strings.Builder
+	if err := tbl.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "# fig2" || lines[1] != "m\tratio" {
+		t.Fatalf("header wrong: %q %q", lines[0], lines[1])
+	}
+	if lines[2] != "1\t0" {
+		t.Fatalf("integer row formatting: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "10\t0.123457") {
+		t.Fatalf("float row formatting: %q", lines[3])
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.AddRow(1)
+}
+
+func TestTableColumn(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	tbl.AddRow(1, 2)
+	tbl.AddRow(3, 4)
+	col := tbl.Column(1)
+	if len(col) != 2 || col[0] != 2 || col[1] != 4 {
+		t.Fatalf("Column = %v", col)
+	}
+}
+
+func TestASCIIPlotRenders(t *testing.T) {
+	p := NewASCIIPlot(40, 10)
+	xs := []float64{0, 1, 2, 3, 4}
+	p.SetX(xs)
+	p.AddSeries("linear", []float64{0, 1, 2, 3, 4})
+	p.AddSeries("quadratic", []float64{0, 1, 4, 9, 16})
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "linear") || !strings.Contains(out, "quadratic") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("marks missing")
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	p := NewASCIIPlot(40, 10)
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestASCIIPlotLengthMismatchPanics(t *testing.T) {
+	p := NewASCIIPlot(40, 10)
+	p.SetX([]float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.AddSeries("bad", []float64{1})
+}
+
+func TestASCIIPlotConstantSeries(t *testing.T) {
+	p := NewASCIIPlot(30, 6)
+	p.SetX([]float64{1, 1, 1})
+	p.AddSeries("flat", []float64{5, 5, 5})
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err) // degenerate ranges must not divide by zero
+	}
+}
+
+// errWriter fails after n successful writes, exercising error paths.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errFull
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errFull = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "writer full" }
+
+func TestWriteTSVPropagatesErrors(t *testing.T) {
+	tbl := NewTable("x", "a")
+	tbl.AddRow(1)
+	for n := 0; n < 3; n++ {
+		if err := tbl.WriteTSV(&errWriter{n: n}); err == nil {
+			t.Errorf("n=%d: error swallowed", n)
+		}
+	}
+}
+
+func TestRenderPropagatesErrors(t *testing.T) {
+	p := NewASCIIPlot(30, 6)
+	p.SetX([]float64{1, 2})
+	p.AddSeries("s", []float64{1, 2})
+	p.XLabel = "x"
+	p.YLabel = "y"
+	for n := 0; n < 6; n++ {
+		if err := p.Render(&errWriter{n: n}); err == nil {
+			t.Errorf("n=%d: error swallowed", n)
+		}
+	}
+	// A fully working writer with labels covers the label branch.
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x: x, y: y") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestNewASCIIPlotClampsMinimums(t *testing.T) {
+	p := NewASCIIPlot(1, 1)
+	if p.Width < 20 || p.Height < 5 {
+		t.Fatalf("minimums not enforced: %dx%d", p.Width, p.Height)
+	}
+}

@@ -1,0 +1,231 @@
+// Package workset provides the work-set abstraction of amorphous
+// data-parallelism (§1): an unordered collection of pending tasks from
+// which the scheduler draws each round. The paper's model draws
+// uniformly at random; real runtimes also use FIFO/LIFO and chunked
+// policies, which are provided for comparison because the selection
+// policy changes the effective CC subgraph each round.
+//
+// All worksets here store opaque task handles (int64 IDs managed by the
+// caller) and are safe for concurrent use unless noted.
+package workset
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Workset is an unordered multiset of pending task handles.
+type Workset interface {
+	// Put inserts a task handle.
+	Put(h int64)
+	// Take removes up to k handles according to the policy; it returns
+	// fewer (possibly zero) when the set is smaller than k.
+	Take(k int) []int64
+	// Len returns the current number of pending handles.
+	Len() int
+}
+
+// Random draws uniformly at random without replacement — the policy the
+// paper's model assumes. It is safe for concurrent use.
+type Random struct {
+	mu sync.Mutex
+	r  *rng.Rand
+	xs []int64
+}
+
+// NewRandom returns a random-draw workset seeded by r. The generator is
+// owned by the workset afterwards.
+func NewRandom(r *rng.Rand) *Random { return &Random{r: r} }
+
+// Put implements Workset.
+func (w *Random) Put(h int64) {
+	w.mu.Lock()
+	w.xs = append(w.xs, h)
+	w.mu.Unlock()
+}
+
+// PutAll inserts many handles under one lock acquisition.
+func (w *Random) PutAll(hs []int64) {
+	w.mu.Lock()
+	w.xs = append(w.xs, hs...)
+	w.mu.Unlock()
+}
+
+// Take implements Workset: it swap-removes k uniform positions, so the
+// returned handles are a uniform sample without replacement.
+func (w *Random) Take(k int) []int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if k > len(w.xs) {
+		k = len(w.xs)
+	}
+	out := make([]int64, 0, k)
+	for i := 0; i < k; i++ {
+		j := w.r.Intn(len(w.xs))
+		last := len(w.xs) - 1
+		w.xs[j], w.xs[last] = w.xs[last], w.xs[j]
+		out = append(out, w.xs[last])
+		w.xs = w.xs[:last]
+	}
+	return out
+}
+
+// Len implements Workset.
+func (w *Random) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.xs)
+}
+
+// FIFO dequeues in insertion order. Safe for concurrent use.
+type FIFO struct {
+	mu   sync.Mutex
+	xs   []int64
+	head int
+}
+
+// NewFIFO returns an empty FIFO workset.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Put implements Workset.
+func (w *FIFO) Put(h int64) {
+	w.mu.Lock()
+	w.xs = append(w.xs, h)
+	w.mu.Unlock()
+}
+
+// Take implements Workset.
+func (w *FIFO) Take(k int) []int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	avail := len(w.xs) - w.head
+	if k > avail {
+		k = avail
+	}
+	out := make([]int64, k)
+	copy(out, w.xs[w.head:w.head+k])
+	w.head += k
+	// Compact when the dead prefix dominates, to bound memory.
+	if w.head > 1024 && w.head*2 > len(w.xs) {
+		w.xs = append([]int64(nil), w.xs[w.head:]...)
+		w.head = 0
+	}
+	return out
+}
+
+// Len implements Workset.
+func (w *FIFO) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.xs) - w.head
+}
+
+// LIFO pops most-recently-inserted first, maximizing locality and,
+// typically, conflicts in clustered workloads. Safe for concurrent use.
+type LIFO struct {
+	mu sync.Mutex
+	xs []int64
+}
+
+// NewLIFO returns an empty LIFO workset.
+func NewLIFO() *LIFO { return &LIFO{} }
+
+// Put implements Workset.
+func (w *LIFO) Put(h int64) {
+	w.mu.Lock()
+	w.xs = append(w.xs, h)
+	w.mu.Unlock()
+}
+
+// Take implements Workset.
+func (w *LIFO) Take(k int) []int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if k > len(w.xs) {
+		k = len(w.xs)
+	}
+	out := make([]int64, k)
+	split := len(w.xs) - k
+	copy(out, w.xs[split:])
+	w.xs = w.xs[:split]
+	// Reverse so out[0] is the most recent (true LIFO order).
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Len implements Workset.
+func (w *LIFO) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.xs)
+}
+
+// Chunked is a sharded bag: Put scatters across shards, Take gathers
+// round-robin. It trades strict uniformity for lower contention — the
+// structure real runtimes (e.g. Galois' chunked bags) use.
+type Chunked struct {
+	shards []chunkShard
+	next   uint64
+	mu     sync.Mutex // guards next only
+}
+
+type chunkShard struct {
+	mu sync.Mutex
+	xs []int64
+}
+
+// NewChunked returns a bag with the given shard count (minimum 1).
+func NewChunked(shards int) *Chunked {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Chunked{shards: make([]chunkShard, shards)}
+}
+
+// Put implements Workset.
+func (w *Chunked) Put(h int64) {
+	w.mu.Lock()
+	i := int(w.next % uint64(len(w.shards)))
+	w.next++
+	w.mu.Unlock()
+	s := &w.shards[i]
+	s.mu.Lock()
+	s.xs = append(s.xs, h)
+	s.mu.Unlock()
+}
+
+// Take implements Workset.
+func (w *Chunked) Take(k int) []int64 {
+	out := make([]int64, 0, k)
+	for i := range w.shards {
+		if len(out) == k {
+			break
+		}
+		s := &w.shards[i]
+		s.mu.Lock()
+		take := k - len(out)
+		if take > len(s.xs) {
+			take = len(s.xs)
+		}
+		split := len(s.xs) - take
+		out = append(out, s.xs[split:]...)
+		s.xs = s.xs[:split]
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Len implements Workset.
+func (w *Chunked) Len() int {
+	total := 0
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		total += len(s.xs)
+		s.mu.Unlock()
+	}
+	return total
+}

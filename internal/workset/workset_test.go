@@ -1,0 +1,211 @@
+package workset
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func collect(w Workset, k int) []int64 {
+	var out []int64
+	for {
+		got := w.Take(k)
+		if len(got) == 0 {
+			return out
+		}
+		out = append(out, got...)
+	}
+}
+
+func testConservation(t *testing.T, w Workset) {
+	t.Helper()
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		w.Put(i)
+	}
+	if w.Len() != n {
+		t.Fatalf("Len = %d, want %d", w.Len(), n)
+	}
+	out := collect(w, 7)
+	if len(out) != n {
+		t.Fatalf("drained %d items, want %d", len(out), n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("lost/duplicated item at %d: %d", i, v)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after drain = %d", w.Len())
+	}
+}
+
+func TestConservationAllPolicies(t *testing.T) {
+	t.Run("random", func(t *testing.T) { testConservation(t, NewRandom(rng.New(1))) })
+	t.Run("fifo", func(t *testing.T) { testConservation(t, NewFIFO()) })
+	t.Run("lifo", func(t *testing.T) { testConservation(t, NewLIFO()) })
+	t.Run("chunked", func(t *testing.T) { testConservation(t, NewChunked(8)) })
+}
+
+func TestFIFOOrder(t *testing.T) {
+	w := NewFIFO()
+	for i := int64(0); i < 10; i++ {
+		w.Put(i)
+	}
+	got := w.Take(4)
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("FIFO order broken: %v", got)
+		}
+	}
+	got = w.Take(100)
+	if len(got) != 6 || got[0] != 4 {
+		t.Fatalf("FIFO remainder: %v", got)
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	w := NewFIFO()
+	for i := int64(0); i < 5000; i++ {
+		w.Put(i)
+	}
+	w.Take(4000)
+	// Trigger compaction path.
+	w.Take(1)
+	if w.Len() != 999 {
+		t.Fatalf("Len = %d, want 999", w.Len())
+	}
+	got := w.Take(999)
+	if got[0] != 4001 || got[998] != 4999 {
+		t.Fatalf("post-compaction order broken: first %d last %d", got[0], got[998])
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	w := NewLIFO()
+	for i := int64(0); i < 10; i++ {
+		w.Put(i)
+	}
+	got := w.Take(3)
+	want := []int64{9, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LIFO order: %v", got)
+		}
+	}
+}
+
+func TestRandomUniformity(t *testing.T) {
+	// Each item should be first-drawn with roughly equal frequency.
+	const n, reps = 10, 30000
+	counts := make([]int, n)
+	r := rng.New(2)
+	for rep := 0; rep < reps; rep++ {
+		w := NewRandom(r.Split())
+		for i := int64(0); i < n; i++ {
+			w.Put(i)
+		}
+		counts[w.Take(1)[0]]++
+	}
+	want := reps / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("item %d drawn first %d times, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestTakeMoreThanAvailable(t *testing.T) {
+	for _, w := range []Workset{NewRandom(rng.New(3)), NewFIFO(), NewLIFO(), NewChunked(4)} {
+		w.Put(1)
+		w.Put(2)
+		got := w.Take(10)
+		if len(got) != 2 {
+			t.Errorf("%T: Take(10) on 2 items returned %d", w, len(got))
+		}
+		if got2 := w.Take(5); len(got2) != 0 {
+			t.Errorf("%T: Take on empty returned %d items", w, len(got2))
+		}
+	}
+}
+
+func TestConcurrentPutTake(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    Workset
+	}{
+		{"random", NewRandom(rng.New(4))},
+		{"fifo", NewFIFO()},
+		{"lifo", NewLIFO()},
+		{"chunked", NewChunked(8)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const producers, perProducer = 8, 500
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						tc.w.Put(int64(p*perProducer + i))
+					}
+				}(p)
+			}
+			var mu sync.Mutex
+			seen := map[int64]bool{}
+			var cg sync.WaitGroup
+			stop := make(chan struct{})
+			for c := 0; c < 4; c++ {
+				cg.Add(1)
+				go func() {
+					defer cg.Done()
+					for {
+						got := tc.w.Take(16)
+						mu.Lock()
+						for _, h := range got {
+							if seen[h] {
+								t.Errorf("duplicate handle %d", h)
+							}
+							seen[h] = true
+						}
+						done := len(seen) == producers*perProducer
+						mu.Unlock()
+						if done {
+							return
+						}
+						select {
+						case <-stop:
+							return
+						default:
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			cg.Wait()
+			close(stop)
+			if len(seen) != producers*perProducer {
+				t.Fatalf("consumed %d items, want %d", len(seen), producers*perProducer)
+			}
+		})
+	}
+}
+
+func TestPutAll(t *testing.T) {
+	w := NewRandom(rng.New(5))
+	w.PutAll([]int64{1, 2, 3, 4, 5})
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestChunkedShardClamp(t *testing.T) {
+	w := NewChunked(0) // clamps to 1 shard
+	w.Put(7)
+	if got := w.Take(1); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single-shard chunked broken: %v", got)
+	}
+}
