@@ -1,0 +1,27 @@
+# Tier-1 verification for the repo (see ROADMAP.md): `make check` is
+# the command CI and reviewers run. `make bench` reproduces the
+# executor micro-benchmarks recorded in CHANGES.md.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages get a dedicated race pass: the
+# speculative executor (worker pool, sharded task table, pooled
+# contexts) and the work-set policies it draws from.
+race:
+	$(GO) test -race ./internal/speculation/ ./internal/workset/
+
+bench:
+	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

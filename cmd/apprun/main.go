@@ -11,12 +11,17 @@
 //	apprun -app cluster -ctrl bisection
 //	apprun -app des     -ctrl hybrid       # ordered (§5 future work)
 //	apprun -app all     -ctrl hybrid
+//
+// -parallel sets the executor's persistent worker-pool size (default
+// NumCPU); -parallel 0 launches one goroutine per task, the paper's
+// model-faithful one-processor-per-task simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/apps/boruvka"
 	"repro/internal/apps/cluster"
@@ -36,6 +41,8 @@ func main() {
 	fixedM := flag.Int("m", 32, "processor count for -ctrl fixed")
 	size := flag.Int("size", 1000, "workload size parameter")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
+	par := flag.Int("parallel", runtime.NumCPU(),
+		"worker-pool size (0 = one goroutine per task, model-faithful)")
 	flag.Parse()
 
 	newCtrl := func() control.Controller {
@@ -68,17 +75,17 @@ func main() {
 	for _, a := range apps {
 		switch a {
 		case "mesh":
-			runMesh(newCtrl(), *size, *seed)
+			runMesh(newCtrl(), *size, *seed, *par)
 		case "boruvka":
-			runBoruvka(newCtrl(), *size, *seed)
+			runBoruvka(newCtrl(), *size, *seed, *par)
 		case "sp":
-			runSP(newCtrl(), *size, *seed)
+			runSP(newCtrl(), *size, *seed, *par)
 		case "cluster":
-			runCluster(newCtrl(), *size, *seed)
+			runCluster(newCtrl(), *size, *seed, *par)
 		case "des":
-			runDES(newCtrl(), *size, *seed)
+			runDES(newCtrl(), *size, *seed, *par)
 		case "maxflow":
-			runMaxflow(newCtrl(), *size, *seed)
+			runMaxflow(newCtrl(), *size, *seed, *par)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown app %q\n", a)
 			os.Exit(2)
@@ -88,7 +95,7 @@ func main() {
 
 func report(name string, e *speculation.Executor, res *speculation.AdaptiveResult) {
 	fmt.Printf("%-8s rounds=%-6d committed=%-7d aborted=%-6d conflict-ratio=%.3f mean-m=%.1f\n",
-		name, res.Rounds, e.TotalCommitted, e.TotalAborted,
+		name, res.Rounds, e.TotalCommitted(), e.TotalAborted(),
 		e.OverallConflictRatio(), meanM(res))
 }
 
@@ -103,7 +110,7 @@ func meanM(res *speculation.AdaptiveResult) float64 {
 	return s / float64(len(res.M))
 }
 
-func runMesh(c control.Controller, size int, seed uint64) {
+func runMesh(c control.Controller, size int, seed uint64, par int) {
 	r := rng.New(seed)
 	m := mesh.NewSquare(0, 1)
 	for i := 0; i < size/10; i++ {
@@ -111,16 +118,18 @@ func runMesh(c control.Controller, size int, seed uint64) {
 	}
 	q := mesh.Quality{MaxArea: 1.0 / float64(size)}
 	ref := mesh.NewSpeculativeRefiner(m, q, func(n int) int { return r.Intn(n) })
+	ref.Executor().MaxParallel = par
 	res := ref.Run(c, 1<<30)
 	report("mesh", ref.Executor(), res)
 	fmt.Printf("         inserted=%d triangles=%d bad-remaining=%d\n",
 		ref.Inserted, m.NumTriangles(), len(m.BadTriangles(q)))
 }
 
-func runBoruvka(c control.Controller, size int, seed uint64) {
+func runBoruvka(c control.Controller, size int, seed uint64, par int) {
 	r := rng.New(seed)
 	g := boruvka.NewRandomConnected(r, size, size*3)
 	s := boruvka.NewSpeculativeMSF(g, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = par
 	res := s.Run(c, 1<<30)
 	report("boruvka", s.Executor(), res)
 	msf := s.Result()
@@ -132,26 +141,28 @@ func runBoruvka(c control.Controller, size int, seed uint64) {
 		len(msf.Edges), msf.Weight)
 }
 
-func runSP(c control.Controller, size int, seed uint64) {
+func runSP(c control.Controller, size int, seed uint64, par int) {
 	r := rng.New(seed)
 	f := sp.NewRandom3SAT(r, size, int(float64(size)*2.5))
 	st := sp.NewState(f, r.Split())
 	s := sp.NewSpeculativeSP(st, 1e-4, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = par
 	res := s.Run(c, 1<<30)
 	report("sp", s.Executor(), res)
 	fmt.Printf("         clause-updates=%d final-sweep-residual=%.2g\n",
 		s.Updates, st.Sweep())
 }
 
-func runDES(c control.Controller, size int, seed uint64) {
+func runDES(c control.Controller, size int, seed uint64, par int) {
 	// Ordered workload (§5 future work): events commit chronologically.
 	means := []float64{0.2, 0.15, 0.25, 0.2, 0.1, 0.3}
 	net := des.NewTandem(seed, means...)
 	sim := des.NewSpeculativeSim(net, size/2, 0.05)
+	sim.Executor().MaxParallel = par
 	res := sim.Run(c, 1<<30)
 	e := sim.Executor()
 	fmt.Printf("%-8s rounds=%-6d committed=%-7d conflicts=%-5d premature=%-6d wasted=%.3f\n",
-		"des", res.Rounds, e.TotalCommitted, e.TotalConflicts, e.TotalPremature,
+		"des", res.Rounds, e.TotalCommitted(), e.TotalConflicts(), e.TotalPremature(),
 		e.OverallConflictRatio())
 	if err := sim.State().CheckComplete(); err != nil {
 		fmt.Printf("         VERIFY FAILED: %v\n", err)
@@ -167,11 +178,12 @@ func runDES(c control.Controller, size int, seed uint64) {
 	fmt.Printf("         served=%d makespan=%.2f (bit-identical to sequential oracle)\n", s1, m1)
 }
 
-func runMaxflow(c control.Controller, size int, seed uint64) {
+func runMaxflow(c control.Controller, size int, seed uint64, par int) {
 	r := rng.New(seed)
 	net := maxflow.RandomNetwork(r, size/2, size*2, 50)
 	oracle := maxflow.EdmondsKarp(net.Clone(), 0, net.N-1)
 	s := maxflow.NewSpeculativePR(net, 0, net.N-1, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = par
 	res := s.Run(c, 1<<30)
 	report("maxflow", s.Executor(), res)
 	if got := s.FlowValue(); got != oracle {
@@ -181,10 +193,11 @@ func runMaxflow(c control.Controller, size int, seed uint64) {
 	fmt.Printf("         max-flow=%d (verified against Edmonds-Karp)\n", s.FlowValue())
 }
 
-func runCluster(c control.Controller, size int, seed uint64) {
+func runCluster(c control.Controller, size int, seed uint64, par int) {
 	r := rng.New(seed)
 	cl := cluster.New(cluster.RandomPoints(r, size))
 	s := cluster.NewSpeculative(cl, 1, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = par
 	res := s.Run(c, 1<<30)
 	report("cluster", s.Executor(), res)
 	if err := cl.CheckDendrogram(size); err != nil {

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/control"
 	"repro/internal/graph"
@@ -44,6 +45,8 @@ func main() {
 	rounds := flag.Int("rounds", 120, "rounds per run")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	plot := flag.Bool("plot", false, "render ASCII plots")
+	par := flag.Int("parallel", runtime.NumCPU(),
+		"executor worker-pool size (0 = one goroutine per task)")
 	flag.Parse()
 
 	switch {
@@ -56,9 +59,9 @@ func main() {
 	case *smart:
 		runSmartStart(*n, *rho, *seed)
 	case *efficiency:
-		runEfficiency(*n, *rho, *seed)
+		runEfficiency(*n, *rho, *seed, *par)
 	case *rhoSweep:
-		runRhoSweep(*n, *seed)
+		runRhoSweep(*n, *seed, *par)
 	default:
 		_ = fig3
 		runFig3(*n, *rho, *rounds, *seed, *plot)
@@ -231,7 +234,7 @@ func runSmartStart(n int, rho float64, seed uint64) {
 // runEfficiency quantifies the paper's intro trade-off on the real
 // speculative runtime: too many processors waste work and power, too
 // few waste time; the adaptive controller balances both.
-func runEfficiency(n int, rho float64, seed uint64) {
+func runEfficiency(n int, rho float64, seed uint64, par int) {
 	fmt.Printf("Adaptive vs fixed-m on a draining CC workload (n=%d, d=24, ρ=%.0f%%)\n", n, rho*100)
 	fmt.Println("rounds ≈ makespan; proc-rounds ≈ energy; efficiency = useful/total work")
 	run := func(c control.Controller) *speculation.AdaptiveResult {
@@ -239,6 +242,7 @@ func runEfficiency(n int, rho float64, seed uint64) {
 		g := graph.RandomWithAvgDegree(r, n, 24)
 		wl := speculation.NewGraphWorkload(g)
 		e := speculation.NewGraphExecutor(wl, r.Split())
+		e.MaxParallel = par
 		return speculation.RunAdaptive(e, c, 1<<30)
 	}
 	tbl := trace.NewTable("efficiency",
@@ -266,7 +270,7 @@ func runEfficiency(n int, rho float64, seed uint64) {
 // runRhoSweep quantifies Remark 1's recommendation ρ ∈ [20%, 30%]: too
 // small a target forfeits parallelism (long makespan), too large wastes
 // work (high energy); the sweep locates the knee.
-func runRhoSweep(n int, seed uint64) {
+func runRhoSweep(n int, seed uint64, par int) {
 	fmt.Printf("Target-ρ sweep on a draining CC workload (n=%d, d=16); 5 runs each\n", n)
 	tbl := trace.NewTable("rho-sweep",
 		"rho", "rounds", "proc_rounds", "wasted", "efficiency")
@@ -278,6 +282,7 @@ func runRhoSweep(n int, seed uint64) {
 			g := graph.RandomWithAvgDegree(r, n, 16)
 			wl := speculation.NewGraphWorkload(g)
 			e := speculation.NewGraphExecutor(wl, r.Split())
+			e.MaxParallel = par
 			res := speculation.RunAdaptive(e,
 				control.NewHybrid(control.DefaultHybridConfig(rho)), 1<<30)
 			rounds += float64(res.Rounds)

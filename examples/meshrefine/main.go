@@ -36,7 +36,7 @@ func main() {
 
 	exec := ref.Executor()
 	fmt.Printf("refined in %d rounds: inserted=%d committed=%d aborted=%d (conflict ratio %.2f)\n",
-		res.Rounds, ref.Inserted, exec.TotalCommitted, exec.TotalAborted,
+		res.Rounds, ref.Inserted, exec.TotalCommitted(), exec.TotalAborted(),
 		exec.OverallConflictRatio())
 	fmt.Printf("final: %d triangles, %d bad\n", m.NumTriangles(), len(m.BadTriangles(quality)))
 

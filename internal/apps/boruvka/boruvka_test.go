@@ -123,7 +123,7 @@ func TestSpeculativeAdaptive(t *testing.T) {
 	}
 	// Merges of overlapping components must conflict at least sometimes
 	// in a 500-node graph driven to high m.
-	if s.Executor().TotalAborted == 0 {
+	if s.Executor().TotalAborted() == 0 {
 		t.Error("no conflicts detected — component locking suspicious")
 	}
 }

@@ -56,7 +56,7 @@ func TestOrderedKruskalAdaptive(t *testing.T) {
 	// Dense edge list over few vertices: speculation must sometimes
 	// waste work (conflicts or premature executions).
 	e := k.Executor()
-	if e.TotalConflicts+e.TotalPremature == 0 {
+	if e.TotalConflicts()+e.TotalPremature() == 0 {
 		t.Error("no wasted work at adaptive m on a dense graph — suspicious")
 	}
 }

@@ -144,7 +144,7 @@ func TestSpeculativeAdaptive(t *testing.T) {
 	if err := c.CheckDendrogram(400); err != nil {
 		t.Fatal(err)
 	}
-	if s.Executor().TotalAborted == 0 {
+	if s.Executor().TotalAborted() == 0 {
 		t.Error("merges never conflicted — locking suspicious")
 	}
 }

@@ -153,7 +153,7 @@ func TestSpeculativeAdaptive(t *testing.T) {
 		t.Fatal("no rounds")
 	}
 	// Discharges on a dense residual graph must conflict sometimes.
-	if s.Executor().TotalAborted == 0 {
+	if s.Executor().TotalAborted() == 0 {
 		t.Error("no conflicts — neighborhood locking suspicious")
 	}
 }

@@ -89,7 +89,7 @@ func TestSpeculativeRefinerAdaptive(t *testing.T) {
 		t.Fatal("no rounds")
 	}
 	// Conflicts must actually occur at some point (cavities overlap).
-	if ref.Executor().TotalAborted == 0 {
+	if ref.Executor().TotalAborted() == 0 {
 		t.Error("no conflicts ever detected — cavity locking suspicious")
 	}
 	if len(m.BadTriangles(q)) != 0 {

@@ -226,7 +226,7 @@ func TestSpeculativeSPAdaptive(t *testing.T) {
 	if res.Rounds == 0 {
 		t.Fatal("no rounds")
 	}
-	if s.Executor().TotalAborted == 0 {
+	if s.Executor().TotalAborted() == 0 {
 		t.Error("clause updates never conflicted — locking suspicious")
 	}
 }

@@ -83,8 +83,8 @@ func TestRuntimeFacade(t *testing.T) {
 	if res.Rounds == 0 {
 		t.Fatal("no rounds recorded")
 	}
-	if rt.Executor().TotalCommitted != 20 {
-		t.Fatalf("committed %d", rt.Executor().TotalCommitted)
+	if rt.Executor().TotalCommitted() != 20 {
+		t.Fatalf("committed %d", rt.Executor().TotalCommitted())
 	}
 }
 
@@ -151,7 +151,7 @@ func TestOrderedRuntimeFacade(t *testing.T) {
 	if res.UsefulWork != 3 {
 		t.Fatalf("useful %d", res.UsefulWork)
 	}
-	if rt.Executor().TotalCommitted != 3 {
+	if rt.Executor().TotalCommitted() != 3 {
 		t.Fatal("executor counters missing")
 	}
 	for i, want := range []float64{1, 2, 3} {

@@ -26,8 +26,8 @@ func TestGraphWorkloadDrains(t *testing.T) {
 	if wl.Graph().NumNodes() != 0 {
 		t.Fatalf("%d nodes survive", wl.Graph().NumNodes())
 	}
-	if e.TotalCommitted != 200 {
-		t.Fatalf("committed %d, want 200", e.TotalCommitted)
+	if e.TotalCommitted() != 200 {
+		t.Fatalf("committed %d, want 200", e.TotalCommitted())
 	}
 	if err := g.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,116 @@
+package speculation
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workset"
+)
+
+// spinSink defeats dead-code elimination of the benchmark spin loops.
+var spinSink atomic.Int64
+
+// spinTask returns a conflict-free task burning roughly `work` iterations
+// of ALU work, modelling a small irregular-algorithm operator.
+func spinTask(work int) Task {
+	return TaskFunc(func(ctx *Ctx) error {
+		acc := int64(ctx.ID())
+		for i := 0; i < work; i++ {
+			acc = acc*6364136223846793005 + 1442695040888963407
+		}
+		spinSink.Store(acc)
+		return nil
+	})
+}
+
+// benchRound measures steady-state round throughput: every iteration
+// enqueues m fresh tasks and runs one round of m, so the scheduler's
+// per-task overhead (dispatch, task-table access, Ctx setup, accounting)
+// dominates for small work sizes.
+func benchRound(b *testing.B, m, maxPar, work int) {
+	e := NewExecutor(nil)
+	e.MaxParallel = maxPar
+	t := spinTask(work)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < m; j++ {
+			e.Add(t)
+		}
+		e.Round(m)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N*m)/secs, "tasks/sec")
+	}
+}
+
+// BenchmarkExecutorRound sweeps task cost (spin), round size (m), and
+// MaxParallel. par=cpu is the production configuration the worker pool
+// targets; par=0 is the model-faithful one-goroutine-per-task mode.
+func BenchmarkExecutorRound(b *testing.B) {
+	cpu := runtime.NumCPU()
+	for _, cfg := range []struct {
+		name         string
+		m, par, work int
+	}{
+		{"tiny/m=64/par=cpu", 64, cpu, 0},
+		{"tiny/m=512/par=cpu", 512, cpu, 0},
+		{"small/m=64/par=cpu", 64, cpu, 200},
+		{"small/m=512/par=cpu", 512, cpu, 200},
+		{"small/m=512/par=2cpu", 512, 2 * cpu, 200},
+		{"tiny/m=64/par=0", 64, 0, 0},
+		{"small/m=512/par=0", 512, 0, 200},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchRound(b, cfg.m, cfg.par, cfg.work)
+		})
+	}
+}
+
+// BenchmarkExecutorRoundWorkset measures the abort/requeue path: all
+// tasks fight over a handful of items, so most launches abort and flow
+// through the workset requeue on every round.
+func BenchmarkExecutorRoundWorkset(b *testing.B) {
+	cpu := runtime.NumCPU()
+	for _, wsName := range []string{"chunked", "fifo"} {
+		b.Run(fmt.Sprintf("conflict-heavy/%s", wsName), func(b *testing.B) {
+			var ws HandleSet
+			switch wsName {
+			case "chunked":
+				ws = workset.NewChunked(8)
+			case "fifo":
+				ws = workset.NewFIFO()
+			}
+			e := NewExecutorWithWorkset(ws)
+			e.MaxParallel = cpu
+			items := make([]*Item, 4)
+			for i := range items {
+				items[i] = NewItem(int64(i))
+			}
+			for j := 0; j < 256; j++ {
+				it := items[j%len(items)]
+				e.Add(TaskFunc(func(ctx *Ctx) error { return ctx.Acquire(it) }))
+			}
+			b.ResetTimer()
+			launched := 0
+			for i := 0; i < b.N; i++ {
+				st := e.Round(256)
+				launched += st.Launched
+				// Committed tasks leave for good; top back up so the
+				// round size stays constant.
+				for j := 0; j < st.Committed; j++ {
+					it := items[j%len(items)]
+					e.Add(TaskFunc(func(ctx *Ctx) error { return ctx.Acquire(it) }))
+				}
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 && launched > 0 {
+				b.ReportMetric(float64(launched)/secs, "tasks/sec")
+			}
+		})
+	}
+}

@@ -99,7 +99,8 @@ type fifoHandles struct{ xs []int64 }
 
 func newFIFOHandles() *fifoHandles { return &fifoHandles{} }
 
-func (f *fifoHandles) Put(h int64) { f.xs = append(f.xs, h) }
+func (f *fifoHandles) Put(h int64)       { f.xs = append(f.xs, h) }
+func (f *fifoHandles) PutAll(hs []int64) { f.xs = append(f.xs, hs...) }
 func (f *fifoHandles) Take(k int) []int64 {
 	if k > len(f.xs) {
 		k = len(f.xs)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the *ordered* speculative executor — the paper's
@@ -124,25 +125,51 @@ func (h *taskHeap) Pop() interface{} {
 }
 
 // OrderedExecutor runs prioritized tasks optimistically with in-order
-// commits.
+// commits. Like Executor, phase 1 is served by a persistent worker pool
+// when MaxParallel > 0.
 type OrderedExecutor struct {
 	mu      sync.Mutex
 	pending taskHeap
 
-	// MaxParallel bounds phase-1 concurrency (0 = one goroutine per
-	// task).
+	// MaxParallel sets the phase-1 worker-pool size (0 = one goroutine
+	// per task, the model-faithful mode).
 	MaxParallel int
 
-	TotalLaunched  int64
-	TotalCommitted int64
-	TotalConflicts int64
-	TotalPremature int64
+	pool *workerPool
+
+	totalLaunched  atomic.Int64
+	totalCommitted atomic.Int64
+	totalConflicts atomic.Int64
+	totalPremature atomic.Int64
 }
 
 // NewOrderedExecutor returns an empty ordered executor.
 func NewOrderedExecutor() *OrderedExecutor {
 	return &OrderedExecutor{}
 }
+
+// Close releases the executor's worker pool (if any). Optional: an
+// executor abandoned without Close is cleaned up by a finalizer.
+func (e *OrderedExecutor) Close() {
+	if e.pool != nil {
+		e.pool.shutdown()
+		e.pool = nil
+	}
+}
+
+// TotalLaunched returns the cumulative number of launched attempts.
+func (e *OrderedExecutor) TotalLaunched() int64 { return e.totalLaunched.Load() }
+
+// TotalCommitted returns the cumulative number of committed tasks.
+func (e *OrderedExecutor) TotalCommitted() int64 { return e.totalCommitted.Load() }
+
+// TotalConflicts returns the cumulative count of same-round item
+// conflicts.
+func (e *OrderedExecutor) TotalConflicts() int64 { return e.totalConflicts.Load() }
+
+// TotalPremature returns the cumulative count of premature executions
+// (tasks that ran ahead of newly spawned earlier work).
+func (e *OrderedExecutor) TotalPremature() int64 { return e.totalPremature.Load() }
 
 // Add inserts a task.
 func (e *OrderedExecutor) Add(t OrderedTask) {
@@ -188,28 +215,35 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 		return OrderedRoundStats{}
 	}
 
-	// Phase 1: parallel speculative execution (read + claim only).
+	// Phase 1: parallel speculative execution (read + claim only),
+	// served by the persistent pool when MaxParallel > 0.
 	ctxs := make([]*OrderedCtx, len(batch))
-	limit := e.MaxParallel
-	if limit <= 0 || limit > len(batch) {
-		limit = len(batch)
+	run := func(i int) {
+		ctx := &OrderedCtx{}
+		if err := batch[i].Run(ctx); err != nil {
+			panic(fmt.Sprintf("speculation: ordered task failed: %v", err))
+		}
+		ctxs[i] = ctx
 	}
-	sem := make(chan struct{}, limit)
-	var wg sync.WaitGroup
-	for i, t := range batch {
-		wg.Add(1)
-		go func(i int, t OrderedTask) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ctx := &OrderedCtx{}
-			if err := t.Run(ctx); err != nil {
-				panic(fmt.Sprintf("speculation: ordered task failed: %v", err))
+	if e.MaxParallel > 0 {
+		if e.pool == nil || e.pool.size != e.MaxParallel {
+			if e.pool != nil {
+				e.pool.shutdown()
 			}
-			ctxs[i] = ctx
-		}(i, t)
+			e.pool = newWorkerPool(e.MaxParallel)
+		}
+		e.pool.dispatch(len(batch), run)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(batch))
+		for i := range batch {
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	// Phase 2: serial commit walk in priority order. The batch was
 	// popped from a heap, so sort it (heap pops were in order already —
@@ -280,20 +314,19 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 	for _, t := range requeue {
 		heap.Push(&e.pending, t)
 	}
-	e.TotalLaunched += int64(stats.Launched)
-	e.TotalCommitted += int64(stats.Committed)
-	e.TotalConflicts += int64(stats.Conflicts)
-	e.TotalPremature += int64(stats.Premature)
 	e.mu.Unlock()
+	e.totalLaunched.Add(int64(stats.Launched))
+	e.totalCommitted.Add(int64(stats.Committed))
+	e.totalConflicts.Add(int64(stats.Conflicts))
+	e.totalPremature.Add(int64(stats.Premature))
 	return stats
 }
 
 // OverallConflictRatio returns cumulative wasted work per launch.
 func (e *OrderedExecutor) OverallConflictRatio() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.TotalLaunched == 0 {
+	l := e.totalLaunched.Load()
+	if l == 0 {
 		return 0
 	}
-	return float64(e.TotalConflicts+e.TotalPremature) / float64(e.TotalLaunched)
+	return float64(e.totalConflicts.Load()+e.totalPremature.Load()) / float64(l)
 }

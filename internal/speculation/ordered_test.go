@@ -231,8 +231,8 @@ func TestRunAdaptiveOrdered(t *testing.T) {
 	if res.Rounds == 0 {
 		t.Fatal("no rounds")
 	}
-	if e.TotalCommitted != 60 {
-		t.Fatalf("committed %d", e.TotalCommitted)
+	if e.TotalCommitted() != 60 {
+		t.Fatalf("committed %d", e.TotalCommitted())
 	}
 	// Final m should be pinned at the minimum for a serial chain.
 	if ctrl.M() > 8 {

@@ -1,0 +1,237 @@
+package speculation
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/workset"
+)
+
+// TestWorkerPoolStress hammers the pooled executor: many rounds of many
+// tiny conflicting tasks while other goroutines keep Adding work. Run
+// under -race this exercises every executor synchronization edge (shard
+// locks, atomic IDs, batched requeue, context recycling).
+func TestWorkerPoolStress(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *Executor
+	}{
+		{"pending", func() *Executor { return NewExecutor(nil) }},
+		{"random-ws", func() *Executor {
+			return NewExecutorWithWorkset(workset.NewRandom(rng.New(7)))
+		}},
+		{"chunked-ws", func() *Executor {
+			return NewExecutorWithWorkset(workset.NewChunked(8))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.mk()
+			e.MaxParallel = runtime.NumCPU() * 2
+			defer e.Close()
+
+			// Shared items so a healthy fraction of launches conflict
+			// and flow through rollback + batched requeue.
+			items := make([]*Item, 17)
+			for i := range items {
+				items[i] = NewItem(int64(i))
+			}
+			var committed atomic.Int64
+			mkTask := func(k int) Task {
+				return TaskFunc(func(ctx *Ctx) error {
+					if err := ctx.Acquire(items[k%len(items)]); err != nil {
+						return err
+					}
+					committed.Add(1)
+					return nil
+				})
+			}
+
+			const seedTasks = 400
+			const adders = 4
+			const addedEach = 200
+			for i := 0; i < seedTasks; i++ {
+				e.Add(mkTask(i))
+			}
+			// Concurrent producers racing against in-flight rounds.
+			var wg sync.WaitGroup
+			for a := 0; a < adders; a++ {
+				wg.Add(1)
+				go func(a int) {
+					defer wg.Done()
+					for i := 0; i < addedEach; i++ {
+						e.Add(mkTask(a*31 + i))
+					}
+				}(a)
+			}
+			rounds := 0
+			for {
+				st := e.Round(64)
+				rounds++
+				if st.Launched == 0 {
+					// Producers may still be running; only stop once
+					// they are done and the set is truly empty.
+					wg.Wait()
+					if e.Pending() == 0 {
+						break
+					}
+				}
+				if rounds > 200000 {
+					t.Fatal("stress run did not drain")
+				}
+			}
+			want := int64(seedTasks + adders*addedEach)
+			if committed.Load() != want {
+				t.Fatalf("committed %d tasks, want %d", committed.Load(), want)
+			}
+			if e.TotalCommitted() != want {
+				t.Fatalf("TotalCommitted = %d, want %d", e.TotalCommitted(), want)
+			}
+			if e.TotalLaunched() != e.TotalCommitted()+e.TotalAborted() {
+				t.Fatalf("launched %d != committed %d + aborted %d",
+					e.TotalLaunched(), e.TotalCommitted(), e.TotalAborted())
+			}
+			// Every lock must be free after the drain.
+			for _, it := range items {
+				if it.Owner() != noOwner {
+					t.Fatalf("item %d still owned by %d", it.Seq, it.Owner())
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerPoolResize verifies that changing MaxParallel between
+// rounds swaps in a right-sized pool without losing work.
+func TestWorkerPoolResize(t *testing.T) {
+	e := NewExecutor(nil)
+	defer e.Close()
+	for i := 0; i < 300; i++ {
+		e.Add(TaskFunc(func(ctx *Ctx) error { return nil }))
+	}
+	for _, par := range []int{1, 4, 2, 8} {
+		e.MaxParallel = par
+		e.Round(50)
+	}
+	e.MaxParallel = 3
+	for e.Pending() > 0 {
+		e.Round(50)
+	}
+	if e.TotalCommitted() != 300 {
+		t.Fatalf("committed %d, want 300", e.TotalCommitted())
+	}
+}
+
+// TestCtxPoolingNoLeak proves a recycled Ctx carries nothing across
+// attempts: no undo actions, no spawns, no commit actions, no held
+// locks. Tasks deliberately abort after registering side effects, then
+// later attempts inspect the context they receive.
+func TestCtxPoolingNoLeak(t *testing.T) {
+	e := NewExecutor(nil)
+	e.MaxParallel = 2
+	defer e.Close()
+
+	blocker := NewItem(99)
+	var undone, spawnedRuns atomic.Int64
+
+	// Round 1: m tasks all register an undo + a spawn + a commit action,
+	// then conflict on the same item (all but the winner abort).
+	dirty := TaskFunc(func(ctx *Ctx) error {
+		ctx.LogUndo(func() { undone.Add(1) })
+		ctx.Spawn(TaskFunc(func(*Ctx) error {
+			spawnedRuns.Add(1)
+			return nil
+		}))
+		ctx.OnCommit(func() {})
+		return ctx.Acquire(blocker)
+	})
+	const m = 16
+	for i := 0; i < m; i++ {
+		e.Add(dirty)
+	}
+	st := e.Round(m)
+	if st.Committed != 1 || st.Aborted != m-1 {
+		t.Fatalf("round1: committed=%d aborted=%d, want 1/%d", st.Committed, st.Aborted, m-1)
+	}
+	if got := undone.Load(); got != int64(m-1) {
+		t.Fatalf("undo ran %d times, want %d", got, m-1)
+	}
+
+	// Drain the requeued aborts plus the winner's spawn. If pooling
+	// leaked state, stale undo logs would fire again or stale spawns
+	// would be re-enqueued and inflate the counts.
+	for e.Pending() > 0 {
+		e.Round(m)
+	}
+	// Every aborted attempt (and only those) runs its undo exactly once;
+	// a leaked undo log would fire extra times on an unrelated attempt.
+	if got := undone.Load(); got != e.TotalAborted() {
+		t.Fatalf("undo ran %d times, want one per abort (%d)", got, e.TotalAborted())
+	}
+	// Each of the m dirty tasks eventually commits exactly once and its
+	// spawn runs exactly once — no duplicates from recycled contexts.
+	if got := spawnedRuns.Load(); got != m {
+		t.Fatalf("spawned task ran %d times, want %d", got, m)
+	}
+	if e.TotalCommitted() != 2*m { // m dirty + m spawned
+		t.Fatalf("TotalCommitted = %d, want %d", e.TotalCommitted(), 2*m)
+	}
+
+	// Inspect the recycled contexts directly: after a full drain every
+	// cached context must be scrubbed empty.
+	for i, c := range e.scratch.ctxs {
+		if len(c.acquired) != 0 || len(c.undo) != 0 || len(c.spawned) != 0 || len(c.onCommit) != 0 {
+			t.Fatalf("cached ctx %d not scrubbed: %+v", i, c)
+		}
+		if c.aborted || c.id != 0 {
+			t.Fatalf("cached ctx %d retains attempt state (id=%d aborted=%v)", i, c.id, c.aborted)
+		}
+		// The backing arrays must hold no stale references either —
+		// scrub zeroes the full capacity, not just the length.
+		for _, it := range c.acquired[:cap(c.acquired)] {
+			if it != nil {
+				t.Fatal("stale *Item reference survives in recycled ctx capacity")
+			}
+		}
+		for _, fn := range c.undo[:cap(c.undo)] {
+			if fn != nil {
+				t.Fatal("stale undo closure survives in recycled ctx capacity")
+			}
+		}
+		for _, task := range c.spawned[:cap(c.spawned)] {
+			if task != nil {
+				t.Fatal("stale spawned task survives in recycled ctx capacity")
+			}
+		}
+	}
+}
+
+// TestExecutorCloseReleasesWorkers verifies Close stops the pool
+// goroutines (and that a closed executor can still run rounds, falling
+// back to a fresh pool).
+func TestExecutorCloseReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewExecutor(nil)
+	e.MaxParallel = 8
+	for i := 0; i < 64; i++ {
+		e.Add(TaskFunc(func(ctx *Ctx) error { return nil }))
+	}
+	e.Round(32)
+	e.Close()
+	// Workers exit asynchronously after the channel closes.
+	for i := 0; i < 200 && runtime.NumGoroutine() > before+1; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked after Close: before=%d after=%d", before, g)
+	}
+	// Round after Close lazily rebuilds the pool.
+	e.Round(32)
+	if e.TotalCommitted() != 64 {
+		t.Fatalf("committed %d, want 64", e.TotalCommitted())
+	}
+	e.Close()
+}

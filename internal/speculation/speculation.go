@@ -15,11 +15,20 @@
 // The paper assumes conflicting and non-conflicting tasks cost the same
 // (§2, as in Delaunay mesh refinement); the runtime therefore treats an
 // abort as a full processor-round of wasted work in its accounting.
+//
+// The executor itself is built for throughput: rounds are served by a
+// persistent pool of MaxParallel workers fed chunks of the round's index
+// space (one channel send per chunk, not one goroutine per task), task
+// handles live in a sharded task table, attempt IDs come from an atomic
+// counter, and per-attempt contexts are recycled through a sync.Pool.
+// Setting MaxParallel to 0 bypasses the pool and launches one goroutine
+// per task — the model-faithful "one processor per task" simulation mode.
 package speculation
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -68,7 +77,9 @@ type TaskFunc func(ctx *Ctx) error
 func (f TaskFunc) Run(ctx *Ctx) error { return f(ctx) }
 
 // Ctx is the per-execution speculative context handed to Task.Run. It is
-// confined to the executing goroutine and must not escape the Run call.
+// confined to the executing goroutine and must not escape the Run call:
+// the executor recycles contexts through a pool once the round's
+// accounting is done.
 type Ctx struct {
 	id       int64
 	acquired []*Item
@@ -76,6 +87,32 @@ type Ctx struct {
 	spawned  []Task
 	onCommit []func()
 	aborted  bool
+}
+
+// ctxPool recycles Ctx values across attempts and executors. Contexts
+// are scrubbed (all reference slots zeroed, capacity kept) before they
+// are returned to the pool, so a pooled Ctx never carries undo logs,
+// spawns, or lock references from a previous attempt.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
+// scrubSlice zeroes the slice's full backing capacity (dropping every
+// reference it retains) and returns it empty, capacity preserved.
+func scrubSlice[T any](s []T) []T {
+	clear(s[:cap(s)])
+	return s[:0]
+}
+
+// scrub resets c for the next attempt: all reference slots are zeroed so
+// nothing (undo closures, spawned tasks, lock pointers) leaks into the
+// next task that receives this context, while slice capacities are
+// preserved so steady-state rounds allocate nothing.
+func (c *Ctx) scrub() {
+	c.id = 0
+	c.aborted = false
+	c.acquired = scrubSlice(c.acquired)
+	c.undo = scrubSlice(c.undo)
+	c.spawned = scrubSlice(c.spawned)
+	c.onCommit = scrubSlice(c.onCommit)
 }
 
 // ID returns the executing task's runtime ID (unique per attempt).
@@ -127,14 +164,15 @@ func (c *Ctx) Spawn(t Task) { c.spawned = append(c.spawned, t) }
 // of the same round, e.g. removing a processed node from a shared graph.
 func (c *Ctx) OnCommit(fn func()) { c.onCommit = append(c.onCommit, fn) }
 
-// rollback runs the undo log in reverse order and clears it.
+// rollback runs the undo log in reverse order and clears the context's
+// pending side effects. Slice capacity is kept for pooled reuse.
 func (c *Ctx) rollback() {
 	for i := len(c.undo) - 1; i >= 0; i-- {
 		c.undo[i]()
 	}
-	c.undo = nil
-	c.spawned = nil
-	c.onCommit = nil
+	c.undo = c.undo[:0]
+	c.spawned = c.spawned[:0]
+	c.onCommit = c.onCommit[:0]
 }
 
 // release frees every lock the task holds.
@@ -142,7 +180,7 @@ func (c *Ctx) release() {
 	for _, it := range c.acquired {
 		it.owner.Store(noOwner)
 	}
-	c.acquired = nil
+	c.acquired = c.acquired[:0]
 }
 
 // RoundStats reports one executor round.
@@ -167,79 +205,319 @@ func (s RoundStats) ConflictRatio() float64 {
 // the paper's model; FIFO/LIFO/chunked are provided by internal/workset).
 type HandleSet interface {
 	Put(h int64)
+	// PutAll inserts many handles at once; the executor uses it to
+	// requeue a whole round's aborts and spawns in one call.
+	PutAll(hs []int64)
 	Take(k int) []int64
 	Len() int
 }
 
-// Executor runs tasks speculatively, round by round.
+// numTaskShards stripes the executor's handle→task map. Power of two so
+// the shard index is a mask. 16 shards keep Add/commit contention
+// negligible up to well past the core counts the controllers allocate.
+const numTaskShards = 16
+
+// taskShard is one stripe of the task table, padded to a cache line so
+// neighboring shard locks do not false-share.
+type taskShard struct {
+	mu sync.Mutex
+	m  map[int64]Task
+	_  [40]byte
+}
+
+// taskTable is an N-way striped map from task handle to task. Handles
+// are assigned round-robin by the atomic ID allocator, so striping by
+// the low bits spreads load uniformly.
+type taskTable struct {
+	shards [numTaskShards]taskShard
+}
+
+func (t *taskTable) shard(h int64) *taskShard {
+	return &t.shards[uint64(h)&(numTaskShards-1)]
+}
+
+func (t *taskTable) store(h int64, task Task) {
+	s := t.shard(h)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[int64]Task)
+	}
+	s.m[h] = task
+	s.mu.Unlock()
+}
+
+func (t *taskTable) load(h int64) Task {
+	s := t.shard(h)
+	s.mu.Lock()
+	task := s.m[h]
+	s.mu.Unlock()
+	return task
+}
+
+// shardBuckets is per-round scratch grouping round indices by shard so
+// batch operations take each shard lock once instead of once per task.
+type shardBuckets [numTaskShards][]int32
+
+func (b *shardBuckets) reset() {
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+}
+
+// loadBatch resolves tasks[i] = table[handles[i]] for every index in
+// idx's buckets, one lock acquisition per touched shard.
+func (t *taskTable) loadBatch(handles []int64, tasks []Task, b *shardBuckets) {
+	b.reset()
+	for i, h := range handles {
+		s := uint64(h) & (numTaskShards - 1)
+		b[s] = append(b[s], int32(i))
+	}
+	for s := range b {
+		if len(b[s]) == 0 {
+			continue
+		}
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for _, i := range b[s] {
+			tasks[i] = sh.m[handles[i]]
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// deleteBatch removes every handle, one lock acquisition per touched
+// shard.
+func (t *taskTable) deleteBatch(handles []int64, b *shardBuckets) {
+	b.reset()
+	for i, h := range handles {
+		s := uint64(h) & (numTaskShards - 1)
+		b[s] = append(b[s], int32(i))
+	}
+	for s := range b {
+		if len(b[s]) == 0 {
+			continue
+		}
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for _, i := range b[s] {
+			delete(sh.m, handles[i])
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// poolChunk is one dispatch unit: workers call run for every index in
+// [lo, hi) and then signal the round's wait group.
+type poolChunk struct {
+	lo, hi int
+	run    func(i int)
+	wg     *sync.WaitGroup
+}
+
+// workerPool is a persistent set of goroutines executing index chunks.
+// Workers hold a reference to the channel only — never to the owning
+// executor — so an abandoned executor is still collectable: its
+// finalizer closes the channel and the workers exit.
+type workerPool struct {
+	work chan poolChunk
+	size int
+	stop sync.Once
+}
+
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{work: make(chan poolChunk, size), size: size}
+	for i := 0; i < size; i++ {
+		go poolWorker(p.work)
+	}
+	// Belt-and-braces: executors that are dropped without Close still
+	// release their workers once the pool is collected.
+	runtime.SetFinalizer(p, (*workerPool).shutdown)
+	return p
+}
+
+func poolWorker(work <-chan poolChunk) {
+	for c := range work {
+		for i := c.lo; i < c.hi; i++ {
+			c.run(i)
+		}
+		c.wg.Done()
+	}
+}
+
+// shutdown terminates the workers. Idempotent.
+func (p *workerPool) shutdown() {
+	p.stop.Do(func() { close(p.work) })
+}
+
+// maxChunk bounds the dispatch chunk size so uneven task costs still
+// load-balance across workers within a round.
+const maxChunk = 64
+
+// dispatch splits [0, n) across the workers and blocks until every
+// index has been processed.
+func (p *workerPool) dispatch(n int, run func(i int)) {
+	chunk := (n + p.size - 1) / p.size
+	if chunk > maxChunk {
+		chunk = maxChunk
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.work <- poolChunk{lo: lo, hi: hi, run: run, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Executor runs tasks speculatively, round by round. Add and the
+// statistics accessors are safe for concurrent use; Round must be called
+// from one goroutine at a time (the adaptive drivers do).
 type Executor struct {
-	mu      sync.Mutex
-	tasks   map[int64]Task
-	ws      HandleSet // nil when pending+randTk are used
-	pending []int64   // task handles awaiting execution
-	nextID  int64
+	tasks  taskTable
+	ws     HandleSet // nil when pending+randTk are used
+	nextID atomic.Int64
+
+	mu      sync.Mutex      // guards pending only
+	pending []int64         // task handles awaiting execution
 	randTk  func(n int) int // selection policy: nil = take from tail
 
-	// Cumulative counters across rounds.
-	TotalLaunched  int64
-	TotalCommitted int64
-	TotalAborted   int64
+	// Cumulative counters across rounds (atomic: Round writes them while
+	// monitors may read concurrently).
+	totalLaunched  atomic.Int64
+	totalCommitted atomic.Int64
+	totalAborted   atomic.Int64
 
-	// MaxParallel bounds the number of concurrently executing
-	// goroutines within a round; 0 means "one goroutine per task",
-	// faithfully simulating one processor per task.
+	// MaxParallel sets the size of the persistent worker pool serving
+	// rounds; 0 means "one goroutine per task", faithfully simulating
+	// one processor per task (no pool involved).
 	MaxParallel int
+
+	pool *workerPool
+
+	// Round-local scratch (Round is single-caller): shard buckets for
+	// batched task-table access, the committed-handle list, and the
+	// per-attempt slices reused across rounds.
+	buckets   shardBuckets
+	committed []int64
+	scratch   roundScratch
+}
+
+// roundScratch holds the per-round working slices. tasks and errs are
+// fully overwritten each round. ctxs is the executor's context cache:
+// contexts are drawn from the global sync.Pool at the high-water mark,
+// pre-assigned to round indices before dispatch (so workers never touch
+// the pool), and scrubbed in place after accounting. The cache never
+// shrinks; Executor.Close returns it to the pool.
+type roundScratch struct {
+	tasks []Task
+	ctxs  []*Ctx // len is the high-water round size; [:n] used per round
+	errs  []error
+}
+
+func (r *roundScratch) grow(n int) {
+	if cap(r.tasks) < n {
+		r.tasks = make([]Task, n)
+		r.errs = make([]error, n)
+	} else {
+		r.tasks = r.tasks[:n]
+		r.errs = r.errs[:n]
+	}
+	for len(r.ctxs) < n {
+		r.ctxs = append(r.ctxs, ctxPool.Get().(*Ctx))
+	}
+}
+
+// release returns every cached context to the global pool.
+func (r *roundScratch) release() {
+	for i, c := range r.ctxs {
+		ctxPool.Put(c)
+		r.ctxs[i] = nil
+	}
+	r.ctxs = r.ctxs[:0]
 }
 
 // NewExecutor returns an empty executor. If pick is non-nil it is used
 // to select pending task indices (e.g. a seeded uniform picker to match
 // the model's random selection); otherwise tasks are taken LIFO.
 func NewExecutor(pick func(n int) int) *Executor {
-	return &Executor{tasks: make(map[int64]Task), randTk: pick}
+	return &Executor{randTk: pick}
 }
 
 // NewExecutorWithWorkset returns an executor drawing its task handles
 // from the given work-set policy (see internal/workset), enabling
 // selection-policy studies on real workloads.
 func NewExecutorWithWorkset(ws HandleSet) *Executor {
-	return &Executor{tasks: make(map[int64]Task), ws: ws}
+	return &Executor{ws: ws}
 }
+
+// Close releases the executor's worker pool (if any) and returns its
+// cached contexts to the global pool. Optional: an executor abandoned
+// without Close is cleaned up by a finalizer.
+func (e *Executor) Close() {
+	if e.pool != nil {
+		e.pool.shutdown()
+		e.pool = nil
+	}
+	e.scratch.release()
+}
+
+// ensurePool returns a pool of exactly size workers, replacing a
+// stale-sized one. Called only from Round (single caller at a time).
+func (e *Executor) ensurePool(size int) *workerPool {
+	if e.pool == nil || e.pool.size != size {
+		if e.pool != nil {
+			e.pool.shutdown()
+		}
+		e.pool = newWorkerPool(size)
+	}
+	return e.pool
+}
+
+// TotalLaunched returns the cumulative number of launched attempts.
+func (e *Executor) TotalLaunched() int64 { return e.totalLaunched.Load() }
+
+// TotalCommitted returns the cumulative number of committed tasks.
+func (e *Executor) TotalCommitted() int64 { return e.totalCommitted.Load() }
+
+// TotalAborted returns the cumulative number of aborted attempts.
+func (e *Executor) TotalAborted() int64 { return e.totalAborted.Load() }
 
 // Add inserts a task into the work-set.
 func (e *Executor) Add(t Task) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.addLocked(t)
-}
-
-func (e *Executor) addLocked(t Task) {
-	id := e.nextID
-	e.nextID++
-	e.tasks[id] = t
+	id := e.nextID.Add(1) - 1
+	e.tasks.store(id, t)
 	if e.ws != nil {
 		e.ws.Put(id)
 		return
 	}
+	e.mu.Lock()
 	e.pending = append(e.pending, id)
+	e.mu.Unlock()
 }
 
 // Pending returns the number of tasks awaiting execution.
 func (e *Executor) Pending() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.ws != nil {
 		return e.ws.Len()
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return len(e.pending)
 }
 
 // take removes up to m pending handles per the selection policy.
 func (e *Executor) take(m int) []int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.ws != nil {
 		return e.ws.Take(m)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if m > len(e.pending) {
 		m = len(e.pending)
 	}
@@ -259,98 +537,123 @@ func (e *Executor) take(m int) []int64 {
 	return out
 }
 
+// requeueAll returns handles to the work-set in one batched call.
+func (e *Executor) requeueAll(hs []int64) {
+	if len(hs) == 0 {
+		return
+	}
+	if e.ws != nil {
+		e.ws.PutAll(hs)
+		return
+	}
+	e.mu.Lock()
+	e.pending = append(e.pending, hs...)
+	e.mu.Unlock()
+}
+
 // Round launches up to m pending tasks speculatively and waits for all
 // of them. Committed tasks leave the work-set and their spawns enter it;
 // aborted tasks are rolled back and requeued. Locks are released only
 // after every task in the round has finished, preserving the model's
 // commit-order semantics.
+//
+// With MaxParallel > 0 the round is executed by the persistent worker
+// pool: the round's index space is cut into chunks and each chunk is one
+// channel send, so per-task scheduling cost is amortized away. With
+// MaxParallel = 0 every task gets its own goroutine (the paper's
+// one-processor-per-task reading).
 func (e *Executor) Round(m int) RoundStats {
 	if m < 0 {
 		panic("speculation: negative round size")
 	}
 	handles := e.take(m)
-	if len(handles) == 0 {
+	n := len(handles)
+	if n == 0 {
 		return RoundStats{}
 	}
 
-	type outcome struct {
-		handle int64
-		ctx    *Ctx
-		err    error
+	// Resolve the round's tasks and pre-assign pooled contexts up front:
+	// workers then touch only round-local slices, never the executor's
+	// shared state or the context pool.
+	e.scratch.grow(n)
+	tasks, ctxs, errs := e.scratch.tasks, e.scratch.ctxs, e.scratch.errs
+	e.tasks.loadBatch(handles, tasks, &e.buckets)
+	// Reserve the round's attempt IDs with one atomic add; IDs share the
+	// allocator with handles, so both stay globally unique.
+	idBase := e.nextID.Add(int64(n)) - int64(n)
+	run := func(i int) {
+		ctx := ctxs[i]
+		ctx.id = idBase + int64(i)
+		err := tasks[i].Run(ctx)
+		if err != nil {
+			// Roll back while still holding the locks (compensation
+			// is race-free), then release immediately: in the
+			// model, an aborted task does not block its other
+			// neighbors from committing in the same round.
+			ctx.rollback()
+			ctx.release()
+		}
+		errs[i] = err
 	}
-	results := make([]outcome, len(handles))
 
-	limit := e.MaxParallel
-	if limit <= 0 || limit > len(handles) {
-		limit = len(handles)
+	if e.MaxParallel > 0 {
+		e.ensurePool(e.MaxParallel).dispatch(n, run)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	sem := make(chan struct{}, limit)
-	var wg sync.WaitGroup
-	for i, h := range handles {
-		wg.Add(1)
-		go func(i int, h int64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			e.mu.Lock()
-			task := e.tasks[h]
-			id := e.nextID // unique attempt ID, distinct from handles
-			e.nextID++
-			e.mu.Unlock()
-			ctx := &Ctx{id: id}
-			err := task.Run(ctx)
-			if err != nil {
-				// Roll back while still holding the locks (compensation
-				// is race-free), then release immediately: in the
-				// model, an aborted task does not block its other
-				// neighbors from committing in the same round.
-				ctx.rollback()
-				ctx.release()
-			}
-			results[i] = outcome{handle: h, ctx: ctx, err: err}
-		}(i, h)
-	}
-	wg.Wait()
 
 	// Round barrier passed: release the committed tasks' locks (aborted
 	// tasks already released on rollback), then run commit actions
 	// serially and account.
-	for _, res := range results {
-		if res.err == nil {
-			res.ctx.release()
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			ctxs[i].release()
 		}
 	}
-	stats := RoundStats{Launched: len(handles)}
+	stats := RoundStats{Launched: n}
 	var commitActions []func()
-	e.mu.Lock()
-	for _, res := range results {
-		if res.err != nil {
-			if !errors.Is(res.err, ErrConflict) {
+	var requeue, spawnedIDs []int64
+	e.committed = e.committed[:0]
+	for i := 0; i < n; i++ {
+		if err := errs[i]; err != nil {
+			if !errors.Is(err, ErrConflict) {
 				// Non-conflict task errors are programming errors in
 				// operator code; surface them loudly.
-				e.mu.Unlock()
-				panic(fmt.Sprintf("speculation: task failed with non-conflict error: %v", res.err))
+				panic(fmt.Sprintf("speculation: task failed with non-conflict error: %v", err))
 			}
 			stats.Aborted++
-			if e.ws != nil {
-				e.ws.Put(res.handle)
-			} else {
-				e.pending = append(e.pending, res.handle)
-			}
+			requeue = append(requeue, handles[i])
 			continue
 		}
 		stats.Committed++
-		delete(e.tasks, res.handle)
-		for _, t := range res.ctx.spawned {
-			e.addLocked(t)
+		e.committed = append(e.committed, handles[i])
+		for _, t := range ctxs[i].spawned {
+			id := e.nextID.Add(1) - 1
+			e.tasks.store(id, t)
+			spawnedIDs = append(spawnedIDs, id)
 			stats.Spawned++
 		}
-		commitActions = append(commitActions, res.ctx.onCommit...)
+		commitActions = append(commitActions, ctxs[i].onCommit...)
 	}
-	e.TotalLaunched += int64(stats.Launched)
-	e.TotalCommitted += int64(stats.Committed)
-	e.TotalAborted += int64(stats.Aborted)
-	e.mu.Unlock()
+	e.tasks.deleteBatch(e.committed, &e.buckets)
+	// Aborted handles go back first (they are retries), then the newly
+	// spawned work — each as one batched insertion.
+	e.requeueAll(requeue)
+	e.requeueAll(spawnedIDs)
+	for _, ctx := range ctxs[:n] {
+		ctx.scrub()
+	}
+	e.totalLaunched.Add(int64(stats.Launched))
+	e.totalCommitted.Add(int64(stats.Committed))
+	e.totalAborted.Add(int64(stats.Aborted))
 	for _, fn := range commitActions {
 		fn()
 	}
@@ -359,9 +662,9 @@ func (e *Executor) Round(m int) RoundStats {
 
 // OverallConflictRatio returns cumulative aborts/launches.
 func (e *Executor) OverallConflictRatio() float64 {
-	l := atomic.LoadInt64(&e.TotalLaunched)
+	l := e.totalLaunched.Load()
 	if l == 0 {
 		return 0
 	}
-	return float64(atomic.LoadInt64(&e.TotalAborted)) / float64(l)
+	return float64(e.totalAborted.Load()) / float64(l)
 }

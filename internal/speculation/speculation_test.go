@@ -309,10 +309,10 @@ func TestTotalsAccumulate(t *testing.T) {
 			t.Fatal("did not drain")
 		}
 	}
-	if e.TotalCommitted != 10 {
-		t.Fatalf("TotalCommitted = %d", e.TotalCommitted)
+	if e.TotalCommitted() != 10 {
+		t.Fatalf("TotalCommitted = %d", e.TotalCommitted())
 	}
-	if e.TotalLaunched != e.TotalCommitted+e.TotalAborted {
+	if e.TotalLaunched() != e.TotalCommitted()+e.TotalAborted() {
 		t.Fatal("counter identity broken")
 	}
 	if e.OverallConflictRatio() <= 0 {

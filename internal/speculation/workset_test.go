@@ -33,8 +33,8 @@ func TestExecutorWithWorksetDrains(t *testing.T) {
 					t.Fatal("did not drain")
 				}
 			}
-			if e.TotalCommitted != 50 {
-				t.Fatalf("committed %d", e.TotalCommitted)
+			if e.TotalCommitted() != 50 {
+				t.Fatalf("committed %d", e.TotalCommitted())
 			}
 		})
 	}
@@ -86,8 +86,8 @@ func TestWorksetPoliciesOnGraphWorkload(t *testing.T) {
 			if g.NumNodes() != 0 {
 				t.Fatalf("%d nodes left", g.NumNodes())
 			}
-			if e.TotalCommitted != 120 {
-				t.Fatalf("committed %d", e.TotalCommitted)
+			if e.TotalCommitted() != 120 {
+				t.Fatalf("committed %d", e.TotalCommitted())
 			}
 			if res.Rounds == 0 {
 				t.Fatal("no rounds")

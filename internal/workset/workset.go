@@ -11,6 +11,7 @@ package workset
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -19,6 +20,10 @@ import (
 type Workset interface {
 	// Put inserts a task handle.
 	Put(h int64)
+	// PutAll inserts many handles under one synchronization episode —
+	// the executor's batched requeue path for a whole round's aborts
+	// and spawns.
+	PutAll(hs []int64)
 	// Take removes up to k handles according to the policy; it returns
 	// fewer (possibly zero) when the set is smaller than k.
 	Take(k int) []int64
@@ -53,19 +58,27 @@ func (w *Random) PutAll(hs []int64) {
 }
 
 // Take implements Workset: it swap-removes k uniform positions, so the
-// returned handles are a uniform sample without replacement.
+// returned handles are a uniform sample without replacement. The result
+// is pre-sized and the RNG path is skipped entirely when the whole set
+// drains, so a full Take costs one copy and no random draws.
 func (w *Random) Take(k int) []int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if k > len(w.xs) {
-		k = len(w.xs)
+	if k >= len(w.xs) {
+		// Draining take: every handle is selected, so no random
+		// positions need to be drawn (a permutation of "all of them"
+		// is still a uniform sample without replacement).
+		out := make([]int64, len(w.xs))
+		copy(out, w.xs)
+		w.xs = w.xs[:0]
+		return out
 	}
-	out := make([]int64, 0, k)
+	out := make([]int64, k)
 	for i := 0; i < k; i++ {
 		j := w.r.Intn(len(w.xs))
 		last := len(w.xs) - 1
 		w.xs[j], w.xs[last] = w.xs[last], w.xs[j]
-		out = append(out, w.xs[last])
+		out[i] = w.xs[last]
 		w.xs = w.xs[:last]
 	}
 	return out
@@ -92,6 +105,13 @@ func NewFIFO() *FIFO { return &FIFO{} }
 func (w *FIFO) Put(h int64) {
 	w.mu.Lock()
 	w.xs = append(w.xs, h)
+	w.mu.Unlock()
+}
+
+// PutAll implements Workset: one lock acquisition for the whole batch.
+func (w *FIFO) PutAll(hs []int64) {
+	w.mu.Lock()
+	w.xs = append(w.xs, hs...)
 	w.mu.Unlock()
 }
 
@@ -138,6 +158,13 @@ func (w *LIFO) Put(h int64) {
 	w.mu.Unlock()
 }
 
+// PutAll implements Workset: one lock acquisition for the whole batch.
+func (w *LIFO) PutAll(hs []int64) {
+	w.mu.Lock()
+	w.xs = append(w.xs, hs...)
+	w.mu.Unlock()
+}
+
 // Take implements Workset.
 func (w *LIFO) Take(k int) []int64 {
 	w.mu.Lock()
@@ -168,8 +195,7 @@ func (w *LIFO) Len() int {
 // structure real runtimes (e.g. Galois' chunked bags) use.
 type Chunked struct {
 	shards []chunkShard
-	next   uint64
-	mu     sync.Mutex // guards next only
+	next   atomic.Uint64 // round-robin Put cursor
 }
 
 type chunkShard struct {
@@ -185,16 +211,37 @@ func NewChunked(shards int) *Chunked {
 	return &Chunked{shards: make([]chunkShard, shards)}
 }
 
-// Put implements Workset.
+// Put implements Workset. The shard cursor is a single atomic add — no
+// lock is taken on the scatter path beyond the target shard's own.
 func (w *Chunked) Put(h int64) {
-	w.mu.Lock()
-	i := int(w.next % uint64(len(w.shards)))
-	w.next++
-	w.mu.Unlock()
+	i := int((w.next.Add(1) - 1) % uint64(len(w.shards)))
 	s := &w.shards[i]
 	s.mu.Lock()
 	s.xs = append(s.xs, h)
 	s.mu.Unlock()
+}
+
+// PutAll implements Workset: the batch is scattered in contiguous runs,
+// one lock acquisition per touched shard (at most one per shard).
+func (w *Chunked) PutAll(hs []int64) {
+	if len(hs) == 0 {
+		return
+	}
+	ns := uint64(len(w.shards))
+	start := w.next.Add(uint64(len(hs))) - uint64(len(hs))
+	// Runs of ceil(len/ns) keep the round-robin balance of repeated Put
+	// while touching each shard's lock once.
+	run := (len(hs) + int(ns) - 1) / int(ns)
+	for off := 0; off < len(hs); off += run {
+		end := off + run
+		if end > len(hs) {
+			end = len(hs)
+		}
+		s := &w.shards[(start+uint64(off/run))%ns]
+		s.mu.Lock()
+		s.xs = append(s.xs, hs[off:end]...)
+		s.mu.Unlock()
+	}
 }
 
 // Take implements Workset.

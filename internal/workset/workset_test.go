@@ -195,10 +195,60 @@ func TestConcurrentPutTake(t *testing.T) {
 }
 
 func TestPutAll(t *testing.T) {
-	w := NewRandom(rng.New(5))
-	w.PutAll([]int64{1, 2, 3, 4, 5})
-	if w.Len() != 5 {
-		t.Fatalf("Len = %d", w.Len())
+	mks := []struct {
+		name string
+		mk   func() Workset
+	}{
+		{"random", func() Workset { return NewRandom(rng.New(5)) }},
+		{"fifo", func() Workset { return NewFIFO() }},
+		{"lifo", func() Workset { return NewLIFO() }},
+		{"chunked", func() Workset { return NewChunked(4) }},
+	}
+	for _, tc := range mks {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.mk()
+			w.PutAll([]int64{1, 2, 3, 4, 5})
+			w.PutAll(nil) // no-op
+			w.Put(6)
+			if w.Len() != 6 {
+				t.Fatalf("Len = %d, want 6", w.Len())
+			}
+			out := collect(w, 4)
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			for i, v := range out {
+				if v != int64(i+1) {
+					t.Fatalf("lost/duplicated handle: %v", out)
+				}
+			}
+		})
+	}
+}
+
+func TestFIFOPutAllOrder(t *testing.T) {
+	w := NewFIFO()
+	w.Put(0)
+	w.PutAll([]int64{1, 2, 3})
+	got := w.Take(4)
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("FIFO PutAll order broken: %v", got)
+		}
+	}
+}
+
+func TestChunkedPutAllSpreads(t *testing.T) {
+	// A large batch must not land on a single shard: each of the 4
+	// shards should receive roughly batch/4 handles.
+	w := NewChunked(4)
+	batch := make([]int64, 400)
+	for i := range batch {
+		batch[i] = int64(i)
+	}
+	w.PutAll(batch)
+	for i := range w.shards {
+		if n := len(w.shards[i].xs); n < 50 || n > 150 {
+			t.Fatalf("shard %d holds %d of 400 handles — batch not spread", i, n)
+		}
 	}
 }
 
