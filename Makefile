@@ -19,9 +19,10 @@ test:
 
 # The concurrency-heavy packages get a dedicated race pass: the
 # speculative executor (worker pool, sharded task table, pooled
-# contexts) and the work-set policies it draws from.
+# contexts), the work-set policies it draws from, the workload
+# registry, and the specd job service (queue, workers, shutdown).
 race:
-	$(GO) test -race ./internal/speculation/ ./internal/workset/
+	$(GO) test -race ./internal/speculation/ ./internal/workset/ ./internal/workload/ ./internal/service/
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

@@ -15,6 +15,10 @@
 // -parallel sets the executor's persistent worker-pool size (default
 // NumCPU); -parallel 0 launches one goroutine per task, the paper's
 // model-faithful one-processor-per-task simulation.
+//
+// Workloads and controllers are instantiated through the shared
+// internal/workload registry — the same constructors cmd/controlsim and
+// the specd service use.
 package main
 
 import (
@@ -23,15 +27,8 @@ import (
 	"os"
 	"runtime"
 
-	"repro/internal/apps/boruvka"
-	"repro/internal/apps/cluster"
-	"repro/internal/apps/des"
-	"repro/internal/apps/maxflow"
-	"repro/internal/apps/mesh"
-	"repro/internal/apps/sp"
 	"repro/internal/control"
-	"repro/internal/rng"
-	"repro/internal/speculation"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -46,26 +43,17 @@ func main() {
 	flag.Parse()
 
 	newCtrl := func() control.Controller {
-		switch *ctrlName {
-		case "hybrid":
-			return control.NewHybrid(control.DefaultHybridConfig(*rho))
-		case "model-based":
-			return control.NewModelBased(*rho, 2)
-		case "recurrence-a":
-			return control.NewRecurrenceA(*rho, 2)
-		case "recurrence-b":
-			return control.NewRecurrenceB(*rho, 2)
-		case "bisection":
-			return control.NewBisection(*rho, 2)
-		case "aimd":
-			return control.NewAIMD(*rho, 2)
-		case "fixed":
-			return control.Fixed{Procs: *fixedM}
-		default:
+		if !workload.HasController(*ctrlName) {
 			fmt.Fprintf(os.Stderr, "unknown controller %q\n", *ctrlName)
 			os.Exit(2)
-			return nil
 		}
+		c, err := workload.NewController(*ctrlName,
+			workload.ControllerParams{Rho: *rho, FixedM: *fixedM})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return c
 	}
 
 	apps := []string{*app}
@@ -73,137 +61,14 @@ func main() {
 		apps = []string{"mesh", "boruvka", "sp", "cluster", "des", "maxflow"}
 	}
 	for _, a := range apps {
-		switch a {
-		case "mesh":
-			runMesh(newCtrl(), *size, *seed, *par)
-		case "boruvka":
-			runBoruvka(newCtrl(), *size, *seed, *par)
-		case "sp":
-			runSP(newCtrl(), *size, *seed, *par)
-		case "cluster":
-			runCluster(newCtrl(), *size, *seed, *par)
-		case "des":
-			runDES(newCtrl(), *size, *seed, *par)
-		case "maxflow":
-			runMaxflow(newCtrl(), *size, *seed, *par)
-		default:
+		c := newCtrl()
+		run, err := workload.New(a, workload.Params{Size: *size, Seed: *seed, Parallel: *par})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "unknown app %q\n", a)
 			os.Exit(2)
 		}
+		res := workload.Drain(run.Stepper, c, 1<<30)
+		run.Report(os.Stdout, res)
+		run.Stepper.Close()
 	}
-}
-
-func report(name string, e *speculation.Executor, res *speculation.AdaptiveResult) {
-	fmt.Printf("%-8s rounds=%-6d committed=%-7d aborted=%-6d conflict-ratio=%.3f mean-m=%.1f\n",
-		name, res.Rounds, e.TotalCommitted(), e.TotalAborted(),
-		e.OverallConflictRatio(), meanM(res))
-}
-
-func meanM(res *speculation.AdaptiveResult) float64 {
-	if len(res.M) == 0 {
-		return 0
-	}
-	s := 0.0
-	for _, m := range res.M {
-		s += float64(m)
-	}
-	return s / float64(len(res.M))
-}
-
-func runMesh(c control.Controller, size int, seed uint64, par int) {
-	r := rng.New(seed)
-	m := mesh.NewSquare(0, 1)
-	for i := 0; i < size/10; i++ {
-		m.Insert(mesh.Point{X: 0.01 + 0.98*r.Float64(), Y: 0.01 + 0.98*r.Float64()})
-	}
-	q := mesh.Quality{MaxArea: 1.0 / float64(size)}
-	ref := mesh.NewSpeculativeRefiner(m, q, func(n int) int { return r.Intn(n) })
-	ref.Executor().MaxParallel = par
-	res := ref.Run(c, 1<<30)
-	report("mesh", ref.Executor(), res)
-	fmt.Printf("         inserted=%d triangles=%d bad-remaining=%d\n",
-		ref.Inserted, m.NumTriangles(), len(m.BadTriangles(q)))
-}
-
-func runBoruvka(c control.Controller, size int, seed uint64, par int) {
-	r := rng.New(seed)
-	g := boruvka.NewRandomConnected(r, size, size*3)
-	s := boruvka.NewSpeculativeMSF(g, func(n int) int { return r.Intn(n) })
-	s.Executor().MaxParallel = par
-	res := s.Run(c, 1<<30)
-	report("boruvka", s.Executor(), res)
-	msf := s.Result()
-	if err := boruvka.Verify(g, msf); err != nil {
-		fmt.Printf("         VERIFY FAILED: %v\n", err)
-		return
-	}
-	fmt.Printf("         msf-edges=%d weight=%.3f (verified against Kruskal)\n",
-		len(msf.Edges), msf.Weight)
-}
-
-func runSP(c control.Controller, size int, seed uint64, par int) {
-	r := rng.New(seed)
-	f := sp.NewRandom3SAT(r, size, int(float64(size)*2.5))
-	st := sp.NewState(f, r.Split())
-	s := sp.NewSpeculativeSP(st, 1e-4, func(n int) int { return r.Intn(n) })
-	s.Executor().MaxParallel = par
-	res := s.Run(c, 1<<30)
-	report("sp", s.Executor(), res)
-	fmt.Printf("         clause-updates=%d final-sweep-residual=%.2g\n",
-		s.Updates, st.Sweep())
-}
-
-func runDES(c control.Controller, size int, seed uint64, par int) {
-	// Ordered workload (§5 future work): events commit chronologically.
-	means := []float64{0.2, 0.15, 0.25, 0.2, 0.1, 0.3}
-	net := des.NewTandem(seed, means...)
-	sim := des.NewSpeculativeSim(net, size/2, 0.05)
-	sim.Executor().MaxParallel = par
-	res := sim.Run(c, 1<<30)
-	e := sim.Executor()
-	fmt.Printf("%-8s rounds=%-6d committed=%-7d conflicts=%-5d premature=%-6d wasted=%.3f\n",
-		"des", res.Rounds, e.TotalCommitted(), e.TotalConflicts(), e.TotalPremature(),
-		e.OverallConflictRatio())
-	if err := sim.State().CheckComplete(); err != nil {
-		fmt.Printf("         VERIFY FAILED: %v\n", err)
-		return
-	}
-	oracle := des.RunSequential(net, size/2, 0.05)
-	m1, s1 := sim.State().MakespanAndThroughput()
-	m2, s2 := oracle.MakespanAndThroughput()
-	if s1 != s2 || m1 != m2 {
-		fmt.Printf("         VERIFY FAILED: (%.4f,%d) vs oracle (%.4f,%d)\n", m1, s1, m2, s2)
-		return
-	}
-	fmt.Printf("         served=%d makespan=%.2f (bit-identical to sequential oracle)\n", s1, m1)
-}
-
-func runMaxflow(c control.Controller, size int, seed uint64, par int) {
-	r := rng.New(seed)
-	net := maxflow.RandomNetwork(r, size/2, size*2, 50)
-	oracle := maxflow.EdmondsKarp(net.Clone(), 0, net.N-1)
-	s := maxflow.NewSpeculativePR(net, 0, net.N-1, func(n int) int { return r.Intn(n) })
-	s.Executor().MaxParallel = par
-	res := s.Run(c, 1<<30)
-	report("maxflow", s.Executor(), res)
-	if got := s.FlowValue(); got != oracle {
-		fmt.Printf("         VERIFY FAILED: flow %d vs oracle %d\n", got, oracle)
-		return
-	}
-	fmt.Printf("         max-flow=%d (verified against Edmonds-Karp)\n", s.FlowValue())
-}
-
-func runCluster(c control.Controller, size int, seed uint64, par int) {
-	r := rng.New(seed)
-	cl := cluster.New(cluster.RandomPoints(r, size))
-	s := cluster.NewSpeculative(cl, 1, func(n int) int { return r.Intn(n) })
-	s.Executor().MaxParallel = par
-	res := s.Run(c, 1<<30)
-	report("cluster", s.Executor(), res)
-	if err := cl.CheckDendrogram(size); err != nil {
-		fmt.Printf("         VERIFY FAILED: %v\n", err)
-		return
-	}
-	fmt.Printf("         merges=%d clusters-left=%d (dendrogram verified)\n",
-		len(cl.Merges), cl.NumClusters())
 }

@@ -30,7 +30,18 @@ import (
 	"repro/internal/rng"
 	"repro/internal/speculation"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
+
+// mustCtrl instantiates a controller through the shared registry; names
+// here are compile-time constants, so failure is a programming error.
+func mustCtrl(name string, p workload.ControllerParams) control.Controller {
+	c, err := workload.NewController(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 func main() {
 	fig3 := flag.Bool("fig3", false, "Fig. 3 trajectory comparison")
@@ -85,9 +96,9 @@ func runFig3(n int, rho float64, rounds int, seed uint64, plot bool) {
 		fmt.Printf("Fig. 3: n=%d d=%.0f ρ=%.0f%% — μ (bisection reference) = %d\n",
 			n, d, rho*100, mu)
 
-		hybrid := control.NewHybrid(control.DefaultHybridConfig(rho))
+		hybrid := mustCtrl("hybrid", workload.ControllerParams{Rho: rho})
 		trH := control.RunLoopStatic(g, r.Split(), hybrid, rounds)
-		recA := control.NewRecurrenceA(rho, 2)
+		recA := mustCtrl("recurrence-a", workload.ControllerParams{Rho: rho})
 		trA := control.RunLoopStatic(g, r.Split(), recA, rounds)
 
 		tbl := trace.NewTable(fmt.Sprintf("fig3-trajectories-d%.0f", d),
@@ -135,14 +146,12 @@ func runConverge(n int, seed uint64) {
 				tr := control.RunLoopStatic(g, r.Split(), c, 400)
 				return float64(tr.ConvergenceStep(float64(mu), 0.30, 8))
 			}
-			tbl.AddRow(d, rho, float64(mu),
-				step(control.NewHybrid(control.DefaultHybridConfig(rho))),
-				step(control.NewModelBased(rho, 2)),
-				step(control.NewRecurrenceA(rho, 2)),
-				step(control.NewRecurrenceB(rho, 2)),
-				step(control.NewBisection(rho, 2)),
-				step(control.NewAIMD(rho, 2)),
-			)
+			row := []float64{d, rho, float64(mu)}
+			for _, name := range []string{"hybrid", "model-based", "recurrence-a",
+				"recurrence-b", "bisection", "aimd"} {
+				row = append(row, step(mustCtrl(name, workload.ControllerParams{Rho: rho})))
+			}
+			tbl.AddRow(row...)
 		}
 	}
 	mustWrite(tbl)
@@ -238,12 +247,14 @@ func runEfficiency(n int, rho float64, seed uint64, par int) {
 	fmt.Printf("Adaptive vs fixed-m on a draining CC workload (n=%d, d=24, ρ=%.0f%%)\n", n, rho*100)
 	fmt.Println("rounds ≈ makespan; proc-rounds ≈ energy; efficiency = useful/total work")
 	run := func(c control.Controller) *speculation.AdaptiveResult {
-		r := rng.New(seed)
-		g := graph.RandomWithAvgDegree(r, n, 24)
-		wl := speculation.NewGraphWorkload(g)
-		e := speculation.NewGraphExecutor(wl, r.Split())
-		e.MaxParallel = par
-		return speculation.RunAdaptive(e, c, 1<<30)
+		// The synthetic CC workload comes from the shared registry — the
+		// same construction the specd service's "cc" jobs use.
+		cc, err := workload.New("cc", workload.Params{Size: n, Seed: seed, Parallel: par, Degree: 24})
+		if err != nil {
+			panic(err)
+		}
+		defer cc.Stepper.Close()
+		return workload.Drain(cc.Stepper, c, 1<<30)
 	}
 	tbl := trace.NewTable("efficiency",
 		"allocation", "rounds", "proc_rounds", "wasted", "efficiency")
@@ -251,12 +262,12 @@ func runEfficiency(n int, rho float64, seed uint64, par int) {
 		tag  float64 // fixed m, or 0 for adaptive
 		ctrl control.Controller
 	}{
-		{0, control.NewHybrid(control.DefaultHybridConfig(rho))},
-		{2, control.Fixed{Procs: 2}},
-		{16, control.Fixed{Procs: 16}},
-		{64, control.Fixed{Procs: 64}},
-		{256, control.Fixed{Procs: 256}},
-		{1024, control.Fixed{Procs: 1024}},
+		{0, mustCtrl("hybrid", workload.ControllerParams{Rho: rho})},
+		{2, mustCtrl("fixed", workload.ControllerParams{FixedM: 2})},
+		{16, mustCtrl("fixed", workload.ControllerParams{FixedM: 16})},
+		{64, mustCtrl("fixed", workload.ControllerParams{FixedM: 64})},
+		{256, mustCtrl("fixed", workload.ControllerParams{FixedM: 256})},
+		{1024, mustCtrl("fixed", workload.ControllerParams{FixedM: 1024})},
 	}
 	for _, c := range configs {
 		res := run(c.ctrl)
@@ -278,13 +289,14 @@ func runRhoSweep(n int, seed uint64, par int) {
 		var rounds, proc, wasted float64
 		const reps = 5
 		for i := 0; i < reps; i++ {
-			r := rng.New(seed + uint64(i))
-			g := graph.RandomWithAvgDegree(r, n, 16)
-			wl := speculation.NewGraphWorkload(g)
-			e := speculation.NewGraphExecutor(wl, r.Split())
-			e.MaxParallel = par
-			res := speculation.RunAdaptive(e,
-				control.NewHybrid(control.DefaultHybridConfig(rho)), 1<<30)
+			cc, err := workload.New("cc", workload.Params{
+				Size: n, Seed: seed + uint64(i), Parallel: par, Degree: 16})
+			if err != nil {
+				panic(err)
+			}
+			res := workload.Drain(cc.Stepper,
+				mustCtrl("hybrid", workload.ControllerParams{Rho: rho}), 1<<30)
+			cc.Stepper.Close()
 			rounds += float64(res.Rounds)
 			proc += float64(res.ProcRounds)
 			wasted += float64(res.WastedWork)

@@ -1,0 +1,110 @@
+// Command specd is the long-running speculation service: an HTTP daemon
+// that accepts (workload, controller) jobs, runs them on the speculative
+// executor under adaptive processor allocation, and exposes live
+// telemetry — the paper's control loop as an operable system.
+//
+//	specd -addr 127.0.0.1:8080 -workers 2 -queue 64
+//
+// API (see internal/service):
+//
+//	POST /v1/jobs       {"workload":"mesh","controller":"hybrid","rho":0.25,...}
+//	GET  /v1/jobs       list jobs
+//	GET  /v1/jobs/{id}  live status: current m, conflict ratio, trajectory
+//	GET  /metrics       Prometheus text exposition
+//	GET  /healthz       liveness / drain signal
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: admission stops,
+// running jobs finish their in-flight round and are marked canceled,
+// queued jobs stay queued, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	queueCap := flag.Int("queue", 64, "bounded job-queue capacity (overflow returns 429)")
+	workers := flag.Int("workers", 2, "concurrent job runners")
+	history := flag.Int("history", 256, "per-job trajectory ring-buffer size")
+	parallel := flag.Int("parallel", 2, "default executor worker-pool size for jobs that do not set one")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight rounds on shutdown")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	logger := log.New(os.Stdout, "", log.LstdFlags)
+
+	svc := service.New(service.Config{
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		HistoryCap:      *history,
+		DefaultParallel: *parallel,
+		Logf:            logger.Printf,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("specd: listen: %v", err)
+	}
+	// Printed before serving so harnesses using :0 can scrape the port.
+	logger.Printf("specd: listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queueCap)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		logger.Printf("specd: received %s, draining", got)
+	case err := <-serveErr:
+		logger.Fatalf("specd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain order: stop the job runners first (finishing in-flight
+	// rounds) while the API keeps answering status queries, then close
+	// the HTTP server.
+	if err := svc.Shutdown(ctx); err != nil {
+		logger.Printf("specd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("specd: http shutdown: %v", err)
+		os.Exit(1)
+	}
+	queued := 0
+	for _, j := range svc.Jobs() {
+		if j.State == service.StateQueued {
+			queued++
+		}
+	}
+	logger.Printf("specd: drained cleanly (%d jobs still queued)", queued)
+	fmt.Println("specd: exit")
+}

@@ -1,0 +1,119 @@
+// Command specload is a load generator for specd: it submits N jobs
+// concurrently, polls each to completion, and reports a summary. Used
+// by the e2e tests (through its client package) and for manual soak
+// runs against a live daemon:
+//
+//	specload -addr http://127.0.0.1:8080 -jobs 16 -workload cc -size 500
+//
+// Jobs vary the seed (base seed + index) so a soak run exercises
+// distinct executions. Exit status is nonzero if any accepted job
+// failed, or if rejected jobs were not expected (-expect-reject=false).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "specd base URL")
+	jobs := flag.Int("jobs", 8, "number of jobs to submit concurrently")
+	wl := flag.String("workload", "cc", "workload name (mesh | boruvka | sp | cluster | des | maxflow | cc)")
+	ctrl := flag.String("ctrl", "hybrid", "controller name")
+	rho := flag.Float64("rho", 0.25, "target conflict ratio")
+	fixedM := flag.Int("m", 32, "processor count for -ctrl fixed")
+	size := flag.Int("size", 500, "workload size parameter")
+	seed := flag.Uint64("seed", 1, "base PRNG seed (job i uses seed+i)")
+	parallel := flag.Int("parallel", 0, "per-job executor pool size (0 = server default, -1 = model-faithful)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "status poll interval")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	expectReject := flag.Bool("expect-reject", true, "treat 429 rejections as expected backpressure")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+
+	if err := c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "specload: server not healthy: %v\n", err)
+		os.Exit(1)
+	}
+
+	type outcome struct {
+		id       string
+		rejected bool
+		err      error
+	}
+	results := make([]outcome, *jobs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Submit(ctx, service.JobSpec{
+				Workload:   *wl,
+				Controller: *ctrl,
+				Rho:        *rho,
+				FixedM:     *fixedM,
+				Size:       *size,
+				Seed:       *seed + uint64(i),
+				Parallel:   *parallel,
+			})
+			switch {
+			case errors.Is(err, client.ErrBusy):
+				results[i] = outcome{rejected: true}
+			case err != nil:
+				results[i] = outcome{err: err}
+			default:
+				results[i] = outcome{id: st.ID}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	accepted, rejected, failed := 0, 0, 0
+	var totalCommits, totalAborts int64
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			fmt.Fprintf(os.Stderr, "specload: submit failed: %v\n", r.err)
+			failed++
+			continue
+		case r.rejected:
+			rejected++
+			continue
+		}
+		accepted++
+		st, err := c.Wait(ctx, r.id, *poll)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specload: waiting for %s: %v\n", r.id, err)
+			failed++
+			continue
+		}
+		totalCommits += st.Committed
+		totalAborts += st.Aborted
+		line := fmt.Sprintf("%-5s %-9s rounds=%-6d committed=%-8d aborted=%-7d ratio=%.3f",
+			st.ID, st.State, st.Rounds, st.Committed, st.Aborted, st.ConflictRatio)
+		if st.State == service.StateDone {
+			fmt.Printf("%s %s\n", line, st.Result)
+		} else {
+			fmt.Printf("%s %s\n", line, st.Error)
+			failed++
+		}
+	}
+
+	fmt.Printf("specload: %d submitted, %d accepted, %d rejected (429), %d failed in %.2fs; commits=%d aborts=%d\n",
+		*jobs, accepted, rejected, failed, time.Since(start).Seconds(), totalCommits, totalAborts)
+	if failed > 0 || (rejected > 0 && !*expectReject) {
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,17 @@ type Controller interface {
 	Name() string
 }
 
+// Telemetry is an optional interface for controllers that expose
+// internal decision counters for monitoring (e.g. a service's job
+// status endpoint). Controllers are single-driver state machines, so
+// Counters must be called from the goroutine driving M/Observe; callers
+// that publish the result to other goroutines must copy it under their
+// own synchronization.
+type Telemetry interface {
+	// Counters returns named decision counts accumulated so far.
+	Counters() map[string]int
+}
+
 // Clamp bounds v to [lo, hi].
 func Clamp(v, lo, hi int) int {
 	if v < lo {
@@ -136,6 +147,16 @@ func (h *Hybrid) M() int { return h.m }
 
 // Config returns the controller's configuration.
 func (h *Hybrid) Config() HybridConfig { return h.cfg }
+
+// Counters implements Telemetry: how often each hybrid rule fired at
+// window boundaries.
+func (h *Hybrid) Counters() map[string]int {
+	return map[string]int{
+		"updates_b":    h.UpdatesB,
+		"updates_a":    h.UpdatesA,
+		"updates_none": h.UpdatesNone,
+	}
+}
 
 // window returns the effective (T, α₀, α₁) for the current m, honoring
 // the small-m regime if enabled.

@@ -1,0 +1,164 @@
+// Package client is the Go client for the specd HTTP API, shared by
+// cmd/specload and the end-to-end tests.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ErrBusy is returned by Submit when the server applies backpressure
+// (HTTP 429); the job was not enqueued and may be retried later.
+var ErrBusy = errors.New("client: server busy (queue full)")
+
+// Client talks to one specd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10s request timeout.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) do(req *http.Request, out any) (int, error) {
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return resp.StatusCode, fmt.Errorf("client: %s: %s", resp.Status, eb.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("client: %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("client: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit posts a job spec. On 429 it returns ErrBusy.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var st service.JobStatus
+	code, err := c.do(req, &st)
+	if code == http.StatusTooManyRequests {
+		return service.JobStatus{}, ErrBusy
+	}
+	return st, err
+}
+
+// Job fetches one job's status (including its trajectory).
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	var st service.JobStatus
+	_, err = c.do(req, &st)
+	return st, err
+}
+
+// Jobs lists every job the server knows.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	_, err = c.do(req, &out)
+	return out.Jobs, err
+}
+
+// Wait polls the job every poll interval until it reaches a terminal
+// state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: %s", resp.Status)
+	}
+	return string(body), nil
+}
+
+// Health reports whether the server answers /healthz with 200.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(req, nil)
+	return err
+}

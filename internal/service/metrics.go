@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders the service state in Prometheus text exposition
+// format (version 0.0.4): queue depth, jobs by state, cumulative
+// rounds/launches/commits/aborts across all jobs, admission counters,
+// and per-job conflict-ratio and current-m gauges.
+//
+// Totals are aggregated from the per-job records at scrape time, so a
+// running job's in-flight progress is visible between rounds.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	jobs := s.Jobs()
+
+	byState := make(map[State]int, len(States()))
+	var rounds, launched, committed, aborted int64
+	for _, j := range jobs {
+		byState[j.State]++
+		rounds += int64(j.Rounds)
+		launched += j.Launched
+		committed += j.Committed
+		aborted += j.Aborted
+	}
+
+	var b strings.Builder
+	header := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	header("specd_queue_depth", "Jobs waiting in the admission queue.", "gauge")
+	fmt.Fprintf(&b, "specd_queue_depth %d\n", s.QueueDepth())
+
+	header("specd_up", "1 while serving, 0 while draining.", "gauge")
+	up := 1
+	if s.Draining() {
+		up = 0
+	}
+	fmt.Fprintf(&b, "specd_up %d\n", up)
+
+	header("specd_jobs", "Jobs by lifecycle state.", "gauge")
+	for _, st := range States() {
+		fmt.Fprintf(&b, "specd_jobs{state=%q} %d\n", st, byState[st])
+	}
+
+	header("specd_jobs_submitted_total", "Jobs accepted into the queue.", "counter")
+	fmt.Fprintf(&b, "specd_jobs_submitted_total %d\n", s.submitted.Load())
+	header("specd_jobs_rejected_total", "Jobs rejected by queue backpressure.", "counter")
+	fmt.Fprintf(&b, "specd_jobs_rejected_total %d\n", s.rejected.Load())
+
+	header("specd_rounds_total", "Executor rounds run across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_rounds_total %d\n", rounds)
+	header("specd_launched_total", "Speculative task attempts across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_launched_total %d\n", launched)
+	header("specd_commits_total", "Committed tasks across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_commits_total %d\n", committed)
+	header("specd_aborts_total", "Aborted task attempts across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_aborts_total %d\n", aborted)
+
+	header("specd_job_conflict_ratio", "Per-job cumulative conflict ratio (aborts/launches).", "gauge")
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "specd_job_conflict_ratio{job=%q,workload=%q,controller=%q} %s\n",
+			j.ID, j.Spec.Workload, j.Spec.Controller, formatFloat(j.ConflictRatio))
+	}
+
+	header("specd_job_mean_conflict_ratio", "Per-job unweighted mean of per-round conflict ratios (r-bar).", "gauge")
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "specd_job_mean_conflict_ratio{job=%q,workload=%q,controller=%q} %s\n",
+			j.ID, j.Spec.Workload, j.Spec.Controller, formatFloat(j.MeanConflictRatio))
+	}
+
+	header("specd_job_m", "Per-job current processor allocation m.", "gauge")
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "specd_job_m{job=%q,workload=%q,controller=%q} %d\n",
+			j.ID, j.Spec.Workload, j.Spec.Controller, j.CurrentM)
+	}
+
+	header("specd_uptime_seconds", "Seconds since the service started.", "gauge")
+	fmt.Fprintf(&b, "specd_uptime_seconds %s\n", formatFloat(s.Uptime().Seconds()))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect
+// (shortest round-trip representation, no exponent surprises for the
+// common small values).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,510 @@
+// Package service is the long-running speculation service behind cmd/specd:
+// a bounded job queue with backpressure, a worker pool that drains jobs by
+// running the adaptive control loop round-by-round on the speculative
+// executor, per-job round-history ring buffers for live telemetry, and
+// graceful shutdown that finishes in-flight rounds before exiting.
+//
+// Layering: the service owns admission, scheduling, and observation;
+// workload construction and controller construction are delegated to the
+// internal/workload registry, and the round loop itself is the paper's
+// Algorithm 1 main loop (M → Round → Observe) expressed over
+// workload.Stepper so ordered and unordered workloads run identically.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/workload"
+)
+
+// Submission errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull signals admission backpressure (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining signals the service no longer accepts jobs (HTTP 503).
+	ErrDraining = errors.New("service: shutting down")
+)
+
+// SpecError marks an invalid job specification (HTTP 400).
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return e.msg }
+
+func specErrf(format string, args ...any) error {
+	return &SpecError{msg: fmt.Sprintf(format, args...)}
+}
+
+// State enumerates a job's lifecycle.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled" // interrupted by shutdown
+)
+
+// States lists every job state (metrics export them all, including
+// zero-valued ones, so dashboards see stable series).
+func States() []State {
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+}
+
+// JobSpec is the wire-level job description accepted by POST /v1/jobs.
+// Zero values take server defaults; Parallel = -1 selects the
+// model-faithful one-goroutine-per-task executor mode.
+type JobSpec struct {
+	Workload   string  `json:"workload"`
+	Controller string  `json:"controller"`
+	Rho        float64 `json:"rho,omitempty"`       // target conflict ratio (default 0.25)
+	M0         int     `json:"m0,omitempty"`        // initial m (default 2)
+	FixedM     int     `json:"m,omitempty"`         // processor count for "fixed"
+	Size       int     `json:"size,omitempty"`      // workload size (default 1000)
+	Seed       uint64  `json:"seed,omitempty"`      // PRNG seed (default 1)
+	Parallel   int     `json:"parallel,omitempty"`  // worker-pool size; 0 = server default, -1 = model-faithful
+	Degree     float64 `json:"degree,omitempty"`    // avg degree for "cc" (default 16)
+	MaxRounds  int     `json:"max_rounds,omitempty"` // round cap (default server cap)
+}
+
+// RoundPoint is one recorded round of a job's trajectory.
+type RoundPoint struct {
+	Round     int     `json:"round"`
+	M         int     `json:"m"`
+	Launched  int     `json:"launched"`
+	Committed int     `json:"committed"`
+	Aborted   int     `json:"aborted"`
+	R         float64 `json:"r"` // conflict ratio observed this round
+}
+
+// JobStatus is the externally visible snapshot of a job, returned by
+// GET /v1/jobs/{id} and embedded in submit responses.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Spec        JobSpec    `json:"spec"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	Rounds            int     `json:"rounds"`
+	CurrentM          int     `json:"current_m"`
+	Pending           int     `json:"pending"`
+	Launched          int64   `json:"launched"`
+	Committed         int64   `json:"committed"`
+	Aborted           int64   `json:"aborted"`
+	ConflictRatio     float64 `json:"conflict_ratio"`      // cumulative aborts/launches
+	MeanConflictRatio float64 `json:"mean_conflict_ratio"` // r̄: unweighted per-round mean
+
+	ControllerCounters map[string]int `json:"controller_counters,omitempty"`
+	Trajectory         []RoundPoint   `json:"trajectory,omitempty"`
+	Result             string         `json:"result,omitempty"`
+	Error              string         `json:"error,omitempty"`
+}
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCanceled
+}
+
+// job is the internal mutable record behind a JobStatus.
+type job struct {
+	mu     sync.Mutex
+	status JobStatus
+	hist   ring
+}
+
+// ring is a fixed-capacity round-history buffer keeping the last cap
+// points.
+type ring struct {
+	buf   []RoundPoint
+	start int
+	n     int
+}
+
+func (r *ring) push(p RoundPoint) {
+	if cap(r.buf) == 0 {
+		return
+	}
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, p)
+		r.n++
+		return
+	}
+	r.buf[r.start] = p
+	r.start = (r.start + 1) % r.n
+}
+
+func (r *ring) slice() []RoundPoint {
+	out := make([]RoundPoint, 0, r.n)
+	out = append(out, r.buf[r.start:r.n]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// record folds one executed round into the job under its lock.
+func (j *job) record(p RoundPoint, pending int, rSum *float64, counters map[string]int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &j.status
+	st.Rounds = p.Round + 1
+	st.CurrentM = p.M
+	st.Pending = pending
+	st.Launched += int64(p.Launched)
+	st.Committed += int64(p.Committed)
+	st.Aborted += int64(p.Aborted)
+	if st.Launched > 0 {
+		st.ConflictRatio = float64(st.Aborted) / float64(st.Launched)
+	}
+	*rSum += p.R
+	st.MeanConflictRatio = *rSum / float64(st.Rounds)
+	st.ControllerCounters = counters
+	j.hist.push(p)
+}
+
+// snapshot returns a deep-enough copy for JSON encoding.
+func (j *job) snapshot(withTrajectory bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	if st.ControllerCounters != nil {
+		cc := make(map[string]int, len(st.ControllerCounters))
+		for k, v := range st.ControllerCounters {
+			cc[k] = v
+		}
+		st.ControllerCounters = cc
+	}
+	if withTrajectory {
+		st.Trajectory = j.hist.slice()
+	}
+	return st
+}
+
+func (j *job) setState(s State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status.State = s
+	now := time.Now()
+	switch s {
+	case StateRunning:
+		j.status.StartedAt = &now
+	case StateDone, StateFailed, StateCanceled:
+		j.status.FinishedAt = &now
+	}
+}
+
+// Config tunes the service. Zero values take the documented defaults.
+type Config struct {
+	QueueCap        int // bounded queue capacity (default 64)
+	Workers         int // concurrent job runners (default 2)
+	HistoryCap      int // per-job trajectory ring size (default 256)
+	DefaultParallel int // executor pool size when spec.Parallel == 0 (default 2)
+	MaxRounds       int // hard per-job round cap (default 1<<30)
+	MaxSize         int // largest accepted spec.Size (default 1_000_000)
+
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.HistoryCap <= 0 {
+		c.HistoryCap = 256
+	}
+	if c.DefaultParallel <= 0 {
+		c.DefaultParallel = 2
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 1 << 30
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 1_000_000
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Service is the long-running speculation service.
+type Service struct {
+	cfg   Config
+	start time.Time
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing
+
+	queue    chan *job
+	draining atomic.Bool
+	stop     chan struct{} // closed by Shutdown; wakes idle workers
+	wg       sync.WaitGroup
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+}
+
+// New starts a service with cfg.Workers runner goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		start: time.Now(),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueCap),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// normalize validates spec against the service limits and fills
+// defaults. It returns the normalized spec or a *SpecError.
+func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
+	if !workload.Has(spec.Workload) {
+		return spec, specErrf("unknown workload %q (have %v)", spec.Workload, workload.Names())
+	}
+	if !workload.HasController(spec.Controller) {
+		return spec, specErrf("unknown controller %q (have %v)", spec.Controller, workload.ControllerNames())
+	}
+	if spec.Controller == "fixed" && spec.FixedM < 1 {
+		return spec, specErrf("controller \"fixed\" requires m >= 1")
+	}
+	if spec.Rho == 0 {
+		spec.Rho = 0.25
+	}
+	if spec.Rho < 0 || spec.Rho >= 1 {
+		return spec, specErrf("rho %v out of (0,1)", spec.Rho)
+	}
+	if spec.Size == 0 {
+		spec.Size = 1000
+	}
+	if spec.Size < 1 || spec.Size > s.cfg.MaxSize {
+		return spec, specErrf("size %d out of [1,%d]", spec.Size, s.cfg.MaxSize)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	switch {
+	case spec.Parallel == 0:
+		spec.Parallel = s.cfg.DefaultParallel
+	case spec.Parallel == -1:
+		spec.Parallel = 0 // model-faithful: one goroutine per task
+	case spec.Parallel < -1 || spec.Parallel > 1024:
+		return spec, specErrf("parallel %d out of [-1,1024]", spec.Parallel)
+	}
+	if spec.Degree < 0 {
+		return spec, specErrf("degree %v negative", spec.Degree)
+	}
+	if spec.MaxRounds <= 0 || spec.MaxRounds > s.cfg.MaxRounds {
+		spec.MaxRounds = s.cfg.MaxRounds
+	}
+	return spec, nil
+}
+
+// Submit validates and enqueues a job. It returns the queued job's
+// status, or ErrQueueFull / ErrDraining / a *SpecError.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	if s.draining.Load() {
+		return JobStatus{}, ErrDraining
+	}
+	spec, err := s.normalize(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j := &job{
+		status: JobStatus{
+			ID:          fmt.Sprintf("j%d", s.nextID.Add(1)),
+			State:       StateQueued,
+			Spec:        spec,
+			SubmittedAt: time.Now(),
+		},
+		hist: ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
+	}
+	// Reserve the queue slot first: admission control must reject before
+	// the job becomes externally visible.
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Add(1)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.mu.Lock()
+	s.jobs[j.status.ID] = j
+	s.order = append(s.order, j.status.ID)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return j.snapshot(false), nil
+}
+
+// Job returns the status of the given job (with its trajectory).
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(true), true
+}
+
+// Jobs lists every known job in submission order, without trajectories.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot(false)
+	}
+	return out
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Uptime returns time since New.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// Shutdown stops admission, lets running jobs finish their in-flight
+// round (marking them canceled), leaves queued jobs queued, and waits
+// for the workers to exit or ctx to expire.
+func (s *Service) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			if s.draining.Load() {
+				// Drained mid-pop: leave the job in state queued — it is
+				// still visible and reported as never started.
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job to completion or interruption. The shutdown
+// check sits between rounds only, so an in-flight round always finishes
+// before the worker exits — the invariant the SIGTERM e2e asserts.
+func (s *Service) runJob(j *job) {
+	spec := j.snapshot(false).Spec
+	id := j.status.ID // immutable after creation
+	j.setState(StateRunning)
+	s.cfg.Logf("specd: job %s started: workload=%s controller=%s size=%d seed=%d",
+		id, spec.Workload, spec.Controller, spec.Size, spec.Seed)
+
+	ctrl, err := workload.NewController(spec.Controller, workload.ControllerParams{
+		Rho: spec.Rho, M0: spec.M0, FixedM: spec.FixedM,
+	})
+	if err != nil {
+		s.failJob(j, id, err)
+		return
+	}
+	run, err := workload.New(spec.Workload, workload.Params{
+		Size: spec.Size, Seed: spec.Seed, Parallel: spec.Parallel, Degree: spec.Degree,
+	})
+	if err != nil {
+		s.failJob(j, id, err)
+		return
+	}
+	defer run.Stepper.Close()
+
+	telemetry, _ := ctrl.(control.Telemetry)
+	rSum := 0.0
+	round := 0
+	for ; round < spec.MaxRounds && run.Stepper.Pending() > 0; round++ {
+		select {
+		case <-s.stop:
+			j.mu.Lock()
+			j.status.State = StateCanceled
+			j.status.Error = fmt.Sprintf("interrupted by shutdown after round %d", round)
+			now := time.Now()
+			j.status.FinishedAt = &now
+			j.mu.Unlock()
+			s.cfg.Logf("specd: job %s interrupted after round %d (in-flight round completed)", id, round)
+			return
+		default:
+		}
+		m := ctrl.M()
+		launched, committed, aborted := run.Stepper.Round(m)
+		r := 0.0
+		if launched > 0 {
+			r = float64(aborted) / float64(launched)
+		}
+		ctrl.Observe(r)
+		var counters map[string]int
+		if telemetry != nil {
+			counters = telemetry.Counters()
+		}
+		j.record(RoundPoint{
+			Round: round, M: m,
+			Launched: launched, Committed: committed, Aborted: aborted, R: r,
+		}, run.Stepper.Pending(), &rSum, counters)
+	}
+
+	if run.Stepper.Pending() > 0 {
+		s.failJob(j, id, fmt.Errorf("round cap %d reached with %d tasks pending",
+			spec.MaxRounds, run.Stepper.Pending()))
+		return
+	}
+	detail, err := run.Verify()
+	if err != nil {
+		s.failJob(j, id, fmt.Errorf("verification failed: %w", err))
+		return
+	}
+	j.mu.Lock()
+	j.status.Result = detail
+	j.mu.Unlock()
+	j.setState(StateDone)
+	s.cfg.Logf("specd: job %s done after %d rounds: %s", id, round, detail)
+}
+
+func (s *Service) failJob(j *job, id string, err error) {
+	j.mu.Lock()
+	j.status.Error = err.Error()
+	j.mu.Unlock()
+	j.setState(StateFailed)
+	s.cfg.Logf("specd: job %s failed: %v", id, err)
+}

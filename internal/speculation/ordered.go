@@ -157,6 +157,18 @@ func (e *OrderedExecutor) Close() {
 	}
 }
 
+// Snapshot returns the ordered executor's pending count and cumulative
+// counters in one race-safe call. Aborted counts both failure modes
+// (conflicts + premature executions), matching OverallConflictRatio.
+func (e *OrderedExecutor) Snapshot() Snapshot {
+	return Snapshot{
+		Pending:   e.Pending(),
+		Launched:  e.totalLaunched.Load(),
+		Committed: e.totalCommitted.Load(),
+		Aborted:   e.totalConflicts.Load() + e.totalPremature.Load(),
+	}
+}
+
 // TotalLaunched returns the cumulative number of launched attempts.
 func (e *OrderedExecutor) TotalLaunched() int64 { return e.totalLaunched.Load() }
 

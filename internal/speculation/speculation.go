@@ -479,6 +479,39 @@ func (e *Executor) ensurePool(size int) *workerPool {
 	return e.pool
 }
 
+// Snapshot is a point-in-time view of an executor's pending count and
+// cumulative counters, obtained in one call. All fields are sampled
+// race-free; because Round updates the counters while running, a
+// snapshot taken mid-round is a consistent *monitoring* view (each
+// field individually correct at sample time), not a round boundary.
+type Snapshot struct {
+	Pending   int
+	Launched  int64
+	Committed int64
+	Aborted   int64
+}
+
+// ConflictRatio returns cumulative aborts/launches for the snapshot.
+func (s Snapshot) ConflictRatio() float64 {
+	if s.Launched == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(s.Launched)
+}
+
+// Snapshot returns the executor's pending count and cumulative counters
+// in one race-safe call — the accessor monitors (e.g. a status endpoint
+// polling mid-run) should use instead of stitching together Pending and
+// the Total* methods.
+func (e *Executor) Snapshot() Snapshot {
+	return Snapshot{
+		Pending:   e.Pending(),
+		Launched:  e.totalLaunched.Load(),
+		Committed: e.totalCommitted.Load(),
+		Aborted:   e.totalAborted.Load(),
+	}
+}
+
 // TotalLaunched returns the cumulative number of launched attempts.
 func (e *Executor) TotalLaunched() int64 { return e.totalLaunched.Load() }
 

@@ -1,0 +1,359 @@
+// Package workload is the registry naming every application workload
+// and every processor-allocation controller behind constructor
+// functions. It replaces the construction switch ladders that used to
+// be duplicated across cmd/apprun and cmd/controlsim, and gives the
+// specd service one place to instantiate a (workload, controller) pair
+// from wire-level names.
+//
+// A workload instance is a Run: a Stepper that advances the speculative
+// execution round by round (abstracting over the unordered and ordered
+// executors), plus the app-specific verification oracle and the CLI
+// report. Construction is deterministic in Params.Seed — two Runs built
+// from equal Params produce identical trajectories when driven
+// identically.
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/boruvka"
+	"repro/internal/apps/cluster"
+	"repro/internal/apps/des"
+	"repro/internal/apps/maxflow"
+	"repro/internal/apps/mesh"
+	"repro/internal/apps/sp"
+	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/speculation"
+)
+
+// Params configures a workload instance.
+type Params struct {
+	// Size is the workload size parameter (same meaning as apprun's
+	// -size flag; n for the synthetic CC workload).
+	Size int
+	// Seed seeds every stochastic choice of the run.
+	Seed uint64
+	// Parallel is the executor worker-pool size (0 = one goroutine per
+	// task, the model-faithful mode).
+	Parallel int
+	// Degree is the average degree of the synthetic "cc" workload's
+	// random graph (0 = 16). Ignored by the application workloads.
+	Degree float64
+}
+
+// Stepper is the round-level driving surface shared by the unordered
+// and ordered executors: one call launches up to m speculative tasks
+// and reports the round's outcome, and Snapshot exposes the live
+// counters race-free for monitors.
+type Stepper interface {
+	// Pending returns the number of tasks awaiting execution.
+	Pending() int
+	// Round launches up to m tasks and waits for the round to finish.
+	Round(m int) (launched, committed, aborted int)
+	// Snapshot returns pending count plus cumulative counters in one
+	// race-safe call.
+	Snapshot() speculation.Snapshot
+	// Close releases executor resources (worker pool, context cache).
+	Close()
+}
+
+// Run is an instantiated workload ready to be driven round by round.
+type Run struct {
+	Name    string
+	Stepper Stepper
+
+	summary func(res *speculation.AdaptiveResult) string
+	verify  func() (string, error)
+}
+
+// Verify checks the workload's oracle once the work-set has drained,
+// returning a one-line result summary (or the verification error).
+func (r *Run) Verify() (string, error) { return r.verify() }
+
+// Report writes the two-line CLI report for a completed adaptive run —
+// byte-identical to the historical cmd/apprun output.
+func (r *Run) Report(w io.Writer, res *speculation.AdaptiveResult) {
+	fmt.Fprintln(w, r.summary(res))
+	detail, err := r.Verify()
+	if err != nil {
+		fmt.Fprintf(w, "         VERIFY FAILED: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "         %s\n", detail)
+}
+
+// Drain drives the stepper under controller c until the work-set
+// empties or maxRounds elapse — the paper's Algorithm 1 main loop,
+// identical to speculation.RunAdaptive but expressed over the Stepper
+// abstraction so ordered and unordered workloads share it.
+func Drain(s Stepper, c control.Controller, maxRounds int) *speculation.AdaptiveResult {
+	res := &speculation.AdaptiveResult{Controller: c.Name()}
+	for round := 0; round < maxRounds && s.Pending() > 0; round++ {
+		m := c.M()
+		launched, committed, aborted := s.Round(m)
+		r := 0.0
+		if launched > 0 {
+			r = float64(aborted) / float64(launched)
+		}
+		res.M = append(res.M, m)
+		res.R = append(res.R, r)
+		res.Committed = append(res.Committed, committed)
+		res.UsefulWork += committed
+		res.WastedWork += aborted
+		res.ProcRounds += launched
+		res.Rounds++
+		c.Observe(r)
+	}
+	return res
+}
+
+// execStepper adapts the unordered executor.
+type execStepper struct{ e *speculation.Executor }
+
+func (s execStepper) Pending() int { return s.e.Pending() }
+func (s execStepper) Round(m int) (int, int, int) {
+	st := s.e.Round(m)
+	return st.Launched, st.Committed, st.Aborted
+}
+func (s execStepper) Snapshot() speculation.Snapshot { return s.e.Snapshot() }
+func (s execStepper) Close()                         { s.e.Close() }
+
+// orderedStepper adapts the ordered executor; aborted counts conflicts
+// plus premature executions, matching OrderedRoundStats.ConflictRatio.
+type orderedStepper struct{ e *speculation.OrderedExecutor }
+
+func (s orderedStepper) Pending() int { return s.e.Pending() }
+func (s orderedStepper) Round(m int) (int, int, int) {
+	st := s.e.Round(m)
+	return st.Launched, st.Committed, st.Aborted()
+}
+func (s orderedStepper) Snapshot() speculation.Snapshot { return s.e.Snapshot() }
+func (s orderedStepper) Close()                         { s.e.Close() }
+
+// stdSummary is the report line shared by the unordered workloads.
+func stdSummary(name string, s Stepper) func(res *speculation.AdaptiveResult) string {
+	return func(res *speculation.AdaptiveResult) string {
+		snap := s.Snapshot()
+		return fmt.Sprintf("%-8s rounds=%-6d committed=%-7d aborted=%-6d conflict-ratio=%.3f mean-m=%.1f",
+			name, res.Rounds, snap.Committed, snap.Aborted, snap.ConflictRatio(), meanM(res))
+	}
+}
+
+func meanM(res *speculation.AdaptiveResult) float64 {
+	if len(res.M) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, m := range res.M {
+		s += float64(m)
+	}
+	return s / float64(len(res.M))
+}
+
+// builders maps workload names to constructors, in registry order.
+var builders = []struct {
+	name  string
+	build func(Params) *Run
+}{
+	{"mesh", newMesh},
+	{"boruvka", newBoruvka},
+	{"sp", newSP},
+	{"cluster", newCluster},
+	{"des", newDES},
+	{"maxflow", newMaxflow},
+	{"cc", newCC},
+}
+
+// Names returns the registered workload names in registry order.
+func Names() []string {
+	out := make([]string, len(builders))
+	for i, b := range builders {
+		out[i] = b.name
+	}
+	return out
+}
+
+// Has reports whether name is a registered workload.
+func Has(name string) bool {
+	for _, b := range builders {
+		if b.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// New instantiates the named workload. Construction builds the full
+// input (mesh, graph, formula, …), so it can be deferred until a job
+// actually runs.
+func New(name string, p Params) (*Run, error) {
+	for _, b := range builders {
+		if b.name == name {
+			return b.build(p), nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+func newMesh(p Params) *Run {
+	r := rng.New(p.Seed)
+	m := mesh.NewSquare(0, 1)
+	for i := 0; i < p.Size/10; i++ {
+		m.Insert(mesh.Point{X: 0.01 + 0.98*r.Float64(), Y: 0.01 + 0.98*r.Float64()})
+	}
+	q := mesh.Quality{MaxArea: 1.0 / float64(p.Size)}
+	ref := mesh.NewSpeculativeRefiner(m, q, func(n int) int { return r.Intn(n) })
+	ref.Executor().MaxParallel = p.Parallel
+	st := execStepper{ref.Executor()}
+	return &Run{
+		Name:    "mesh",
+		Stepper: st,
+		summary: stdSummary("mesh", st),
+		verify: func() (string, error) {
+			return fmt.Sprintf("inserted=%d triangles=%d bad-remaining=%d",
+				ref.Inserted, m.NumTriangles(), len(m.BadTriangles(q))), nil
+		},
+	}
+}
+
+func newBoruvka(p Params) *Run {
+	r := rng.New(p.Seed)
+	g := boruvka.NewRandomConnected(r, p.Size, p.Size*3)
+	s := boruvka.NewSpeculativeMSF(g, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = p.Parallel
+	st := execStepper{s.Executor()}
+	return &Run{
+		Name:    "boruvka",
+		Stepper: st,
+		summary: stdSummary("boruvka", st),
+		verify: func() (string, error) {
+			msf := s.Result()
+			if err := boruvka.Verify(g, msf); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("msf-edges=%d weight=%.3f (verified against Kruskal)",
+				len(msf.Edges), msf.Weight), nil
+		},
+	}
+}
+
+func newSP(p Params) *Run {
+	r := rng.New(p.Seed)
+	f := sp.NewRandom3SAT(r, p.Size, int(float64(p.Size)*2.5))
+	state := sp.NewState(f, r.Split())
+	s := sp.NewSpeculativeSP(state, 1e-4, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = p.Parallel
+	st := execStepper{s.Executor()}
+	return &Run{
+		Name:    "sp",
+		Stepper: st,
+		summary: stdSummary("sp", st),
+		verify: func() (string, error) {
+			return fmt.Sprintf("clause-updates=%d final-sweep-residual=%.2g",
+				s.Updates, state.Sweep()), nil
+		},
+	}
+}
+
+func newCluster(p Params) *Run {
+	r := rng.New(p.Seed)
+	cl := cluster.New(cluster.RandomPoints(r, p.Size))
+	s := cluster.NewSpeculative(cl, 1, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = p.Parallel
+	st := execStepper{s.Executor()}
+	return &Run{
+		Name:    "cluster",
+		Stepper: st,
+		summary: stdSummary("cluster", st),
+		verify: func() (string, error) {
+			if err := cl.CheckDendrogram(p.Size); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("merges=%d clusters-left=%d (dendrogram verified)",
+				len(cl.Merges), cl.NumClusters()), nil
+		},
+	}
+}
+
+func newDES(p Params) *Run {
+	// Ordered workload (§5 future work): events commit chronologically.
+	means := []float64{0.2, 0.15, 0.25, 0.2, 0.1, 0.3}
+	net := des.NewTandem(p.Seed, means...)
+	sim := des.NewSpeculativeSim(net, p.Size/2, 0.05)
+	sim.Executor().MaxParallel = p.Parallel
+	st := orderedStepper{sim.Executor()}
+	return &Run{
+		Name:    "des",
+		Stepper: st,
+		summary: func(res *speculation.AdaptiveResult) string {
+			e := sim.Executor()
+			return fmt.Sprintf("%-8s rounds=%-6d committed=%-7d conflicts=%-5d premature=%-6d wasted=%.3f",
+				"des", res.Rounds, e.TotalCommitted(), e.TotalConflicts(), e.TotalPremature(),
+				e.OverallConflictRatio())
+		},
+		verify: func() (string, error) {
+			if err := sim.State().CheckComplete(); err != nil {
+				return "", err
+			}
+			oracle := des.RunSequential(net, p.Size/2, 0.05)
+			m1, s1 := sim.State().MakespanAndThroughput()
+			m2, s2 := oracle.MakespanAndThroughput()
+			if s1 != s2 || m1 != m2 {
+				return "", fmt.Errorf("(%.4f,%d) vs oracle (%.4f,%d)", m1, s1, m2, s2)
+			}
+			return fmt.Sprintf("served=%d makespan=%.2f (bit-identical to sequential oracle)", s1, m1), nil
+		},
+	}
+}
+
+func newMaxflow(p Params) *Run {
+	r := rng.New(p.Seed)
+	net := maxflow.RandomNetwork(r, p.Size/2, p.Size*2, 50)
+	oracle := maxflow.EdmondsKarp(net.Clone(), 0, net.N-1)
+	s := maxflow.NewSpeculativePR(net, 0, net.N-1, func(n int) int { return r.Intn(n) })
+	s.Executor().MaxParallel = p.Parallel
+	st := execStepper{s.Executor()}
+	return &Run{
+		Name:    "maxflow",
+		Stepper: st,
+		summary: stdSummary("maxflow", st),
+		verify: func() (string, error) {
+			if got := s.FlowValue(); got != oracle {
+				return "", fmt.Errorf("flow %d vs oracle %d", got, oracle)
+			}
+			return fmt.Sprintf("max-flow=%d (verified against Edmonds-Karp)", s.FlowValue()), nil
+		},
+	}
+}
+
+// newCC builds the synthetic CC-graph workload of the paper's model: one
+// task per node, adjacent tasks conflict, committed tasks leave the
+// graph — the draining workload cmd/controlsim's efficiency experiments
+// run. The construction sequence (rng, graph, executor seed split)
+// matches those experiments exactly.
+func newCC(p Params) *Run {
+	d := p.Degree
+	if d <= 0 {
+		d = 16
+	}
+	r := rng.New(p.Seed)
+	g := graph.RandomWithAvgDegree(r, p.Size, d)
+	wl := speculation.NewGraphWorkload(g)
+	e := speculation.NewGraphExecutor(wl, r.Split())
+	e.MaxParallel = p.Parallel
+	st := execStepper{e}
+	return &Run{
+		Name:    "cc",
+		Stepper: st,
+		summary: stdSummary("cc", st),
+		verify: func() (string, error) {
+			if left := wl.Graph().NumNodes(); left > 0 {
+				return "", fmt.Errorf("%d nodes unprocessed", left)
+			}
+			return fmt.Sprintf("nodes-processed=%d (graph drained)", p.Size), nil
+		},
+	}
+}
