@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+# bench-sim knobs: lower BENCHTIME/BENCHCOUNT for a quick CI smoke run.
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 5
+BENCH_SIM_OUT ?= BENCH_sim.json
+
+.PHONY: check vet build test race bench bench-sim
 
 check: vet build test race
 
@@ -20,9 +25,22 @@ test:
 # The concurrency-heavy packages get a dedicated race pass: the
 # speculative executor (worker pool, sharded task table, pooled
 # contexts), the work-set policies it draws from, the workload
-# registry, and the specd job service (queue, workers, shutdown).
+# registry, the specd job service (queue, workers, shutdown), and the
+# CSR Monte Carlo estimation engine plus its consumers (graph, sched,
+# profile, control).
 race:
-	$(GO) test -race ./internal/speculation/ ./internal/workset/ ./internal/workload/ ./internal/service/
+	$(GO) test -race ./internal/speculation/ ./internal/workset/ ./internal/workload/ ./internal/service/ \
+		./internal/graph/ ./internal/sched/ ./internal/profile/ ./internal/control/
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s
+
+# bench-sim reproduces the simulation-layer benchmarks (CSR greedy-MIS
+# kernel, serial vs parallel conflict-ratio estimators) and records
+# per-benchmark medians in $(BENCH_SIM_OUT).
+bench-sim:
+	$(GO) test ./internal/graph/ ./internal/sched/ -run NONE \
+		-bench 'BenchmarkCSRMIS|BenchmarkMapMIS|BenchmarkConflictRatioMC' \
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
+		| $(GO) run ./cmd/benchfmt > $(BENCH_SIM_OUT)
+	@cat $(BENCH_SIM_OUT)

@@ -1,0 +1,105 @@
+// Command benchfmt condenses `go test -bench` output into the JSON
+// benchmark records the repo tracks in version control (BENCH_sim.json):
+// it reads benchmark result lines from stdin, groups repeated -count runs
+// by benchmark name, and emits the per-benchmark median ns/op (medians
+// resist scheduler noise better than means) plus allocation stats.
+//
+// Usage:
+//
+//	go test ./internal/... -run NONE -bench . -count 5 | benchfmt > BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// resultLine matches e.g.
+//
+//	BenchmarkCSRMIS          53604    21860 ns/op    0 B/op    0 allocs/op
+//	BenchmarkConflictRatioMCParallel/w8-8    970    1262148 ns/op
+var resultLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type record struct {
+	NsPerOp     float64 `json:"ns_per_op"`     // median across runs
+	BytesPerOp  float64 `json:"bytes_per_op"`  // median across runs
+	AllocsPerOp float64 `json:"allocs_per_op"` // median across runs
+	Runs        int     `json:"runs"`
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
+}
+
+func main() {
+	ns := map[string][]float64{}
+	bytes := map[string][]float64{}
+	allocs := map[string][]float64{}
+	var names []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if _, seen := ns[name]; !seen {
+			names = append(names, name)
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		ns[name] = append(ns[name], v)
+		if m[3] != "" {
+			if b, err := strconv.ParseFloat(m[3], 64); err == nil {
+				bytes[name] = append(bytes[name], b)
+			}
+		}
+		if m[4] != "" {
+			if a, err := strconv.ParseFloat(m[4], 64); err == nil {
+				allocs[name] = append(allocs[name], a)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	out := make(map[string]record, len(names))
+	for _, name := range names {
+		out[name] = record{
+			NsPerOp:     median(ns[name]),
+			BytesPerOp:  median(bytes[name]),
+			AllocsPerOp: median(allocs[name]),
+			Runs:        len(ns[name]),
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}

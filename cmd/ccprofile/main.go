@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/apps/boruvka"
 	"repro/internal/apps/cluster"
@@ -36,6 +37,8 @@ func main() {
 	size := flag.Int("size", 2000, "mesh workload size (1/MaxArea)")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	reps := flag.Int("reps", 5, "MIS estimation repetitions per step")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"MIS estimation workers (reps shard across them)")
 	plot := flag.Bool("plot", false, "render an ASCII plot")
 	flag.Parse()
 
@@ -44,7 +47,7 @@ func main() {
 	switch *workload {
 	case "random":
 		g := graph.RandomWithAvgDegree(r, *n, *d)
-		pts = profile.Profile(g, r, nil, *reps, 100000)
+		pts = profile.ProfileParallel(g, r, nil, *reps, 100000, *workers)
 	case "mesh":
 		pts = meshProfile(r, *size)
 	case "boruvka":
@@ -75,7 +78,7 @@ func main() {
 			})
 		}
 	case "phases":
-		pts = phasesProfile(r, *reps)
+		pts = phasesProfile(r, *reps, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -174,7 +177,7 @@ func meshProfile(r *rng.Rand, size int) []profile.Point {
 	return pts
 }
 
-func phasesProfile(r *rng.Rand, reps int) []profile.Point {
+func phasesProfile(r *rng.Rand, reps, workers int) []profile.Point {
 	specs := []profile.PhaseSpec{
 		{Rounds: 30, N: 1000, Degree: 128},
 		{Rounds: 30, N: 1000, Degree: 2},
@@ -188,7 +191,7 @@ func phasesProfile(r *rng.Rand, reps int) []profile.Point {
 		pts = append(pts, profile.Point{
 			Step:        step,
 			Live:        g.NumNodes(),
-			Parallelism: graph.ExpectedMISMonteCarlo(g, r, reps),
+			Parallelism: graph.ExpectedMISMonteCarloParallel(g, r, reps, workers),
 			AvgDegree:   g.AvgDegree(),
 		})
 		ps.Tick()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
 	"repro/internal/speculation"
 
@@ -37,6 +38,8 @@ func main() {
 	reps := flag.Int("reps", 300, "Monte Carlo repetitions per point")
 	points := flag.Int("points", 40, "samples along the m axis")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"Monte Carlo estimation workers (reps shard across them)")
 	plot := flag.Bool("plot", false, "render an ASCII plot too")
 	variance := flag.Bool("variance", false, "per-round ratio noise vs m (§4.1)")
 	families := flag.Bool("families", false, "r̄(m) curves across generator families")
@@ -45,15 +48,15 @@ func main() {
 
 	r := rng.New(*seed)
 	if *variance {
-		runVariance(r, *n, *d, *reps)
+		runVariance(r, *n, *d, *reps, *workers)
 		return
 	}
 	if *families {
-		runFamilies(r, *n, *d, *reps, *points)
+		runFamilies(r, *n, *d, *reps, *points, *workers)
 		return
 	}
 	if *runtimeCmp {
-		runRuntimeFidelity(r, *n, *d, *reps)
+		runRuntimeFidelity(r, *n, *d, *reps, *workers)
 		return
 	}
 	random := graph.RandomWithAvgDegree(r, *n, float64(*d))
@@ -78,11 +81,15 @@ func main() {
 		}
 		ms = append(ms, m)
 	}
+	// One CSR snapshot per curve; every m point shards reps across the
+	// worker pool.
+	estRandom := sched.NewEstimator(random, *workers)
+	estCliquey := sched.NewEstimator(cliquey, *workers)
 	for _, m := range ms {
 		tbl.AddRow(float64(m),
 			analytic.Cor2ConflictBound(float64(*n), float64(*d), float64(m)),
-			sched.ConflictRatioMC(random, r, m, *reps),
-			sched.ConflictRatioMC(cliquey, r, m, *reps))
+			estRandom.ConflictRatio(r, m, *reps),
+			estCliquey.ConflictRatio(r, m, *reps))
 	}
 	if err := tbl.WriteTSV(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -112,7 +119,7 @@ func renderFig2Plot(p *trace.ASCIIPlot, tbl *trace.Table) {
 // runFamilies extends Fig. 2 across generator families at the same
 // (n, d): the worst-case bound dominates them all (Thm. 2/3), and the
 // gap quantifies how benign each conflict structure is.
-func runFamilies(r *rng.Rand, n, d, reps, points int) {
+func runFamilies(r *rng.Rand, n, d, reps, points, workers int) {
 	graphs := []struct {
 		name string
 		g    *graph.Graph
@@ -123,8 +130,10 @@ func runFamilies(r *rng.Rand, n, d, reps, points int) {
 		{"scalefree", graph.BarabasiAlbert(r, n, d/2)},
 	}
 	fmt.Printf("Conflict-ratio curves across families, n=%d target d=%d\n", n, d)
-	for _, fam := range graphs {
+	ests := make([]*sched.Estimator, len(graphs))
+	for i, fam := range graphs {
 		fmt.Printf("  %-10s measured d = %.2f\n", fam.name, fam.g.AvgDegree())
+		ests[i] = sched.NewEstimator(fam.g, workers)
 	}
 	tbl := trace.NewTable("fig2-families",
 		"m", "worst_case", "random", "geometric", "smallworld", "scalefree")
@@ -134,8 +143,8 @@ func runFamilies(r *rng.Rand, n, d, reps, points int) {
 			m = 2
 		}
 		row := []float64{float64(m), analytic.Cor2ConflictBound(float64(n), float64(d), float64(m))}
-		for _, fam := range graphs {
-			row = append(row, sched.ConflictRatioMC(fam.g, r, m, reps))
+		for _, est := range ests {
+			row = append(row, est.ConflictRatio(r, m, reps))
 		}
 		tbl.AddRow(row...)
 	}
@@ -150,19 +159,19 @@ func runFamilies(r *rng.Rand, n, d, reps, points int) {
 // (iii) the goroutine speculative runtime executing one round on a
 // fresh clique-union CC graph — the end-to-end fidelity chain from the
 // paper's mathematics to real concurrent execution.
-func runRuntimeFidelity(r *rng.Rand, n, d, reps int) {
+func runRuntimeFidelity(r *rng.Rand, n, d, reps, workers int) {
 	if n%(d+1) != 0 {
 		n -= n % (d + 1)
 	}
 	fmt.Printf("Model vs runtime fidelity on K^n_d, n=%d d=%d (runtime reps=%d)\n", n, d, reps)
 	tbl := trace.NewTable("runtime-fidelity", "m", "thm3_bound", "model_mc", "runtime_mc")
+	est := sched.NewEstimator(graph.CliqueUnion(n, d), workers)
 	for _, frac := range []int{32, 16, 8, 4, 2} {
 		m := n / frac
 		if m < 2 {
 			continue
 		}
-		knd := graph.CliqueUnion(n, d)
-		model := sched.ConflictRatioMC(knd, r, m, reps*4)
+		model := est.ConflictRatio(r, m, reps*4)
 		launched, aborted := 0, 0
 		for i := 0; i < reps; i++ {
 			g := graph.CliqueUnion(n, d)
@@ -193,15 +202,16 @@ func geometricWithDegree(r *rng.Rand, n, d int) *graph.Graph {
 // runVariance tabulates the per-round conflict-ratio noise against m —
 // the §4.1 observation justifying window averaging and the separate
 // small-m regime of Algorithm 1.
-func runVariance(r *rng.Rand, n int, d, reps int) {
+func runVariance(r *rng.Rand, n int, d, reps, workers int) {
 	g := graph.RandomWithAvgDegree(r, n, float64(d))
 	fmt.Printf("Per-round conflict-ratio noise, n=%d d=%d (reps=%d)\n", n, d, reps*10)
 	tbl := trace.NewTable("ratio-variance", "m", "mean", "std", "rel_noise")
+	est := sched.NewEstimator(g, workers)
 	for _, m := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512} {
 		if m > n {
 			break
 		}
-		mean, std := sched.ConflictRatioDistMC(g, r, m, reps*10)
+		mean, std := est.ConflictRatioDist(r, m, reps*10)
 		rel := 0.0
 		if mean > 0 {
 			rel = std / mean

@@ -58,24 +58,26 @@ func main() {
 	plot := flag.Bool("plot", false, "render ASCII plots")
 	par := flag.Int("parallel", runtime.NumCPU(),
 		"executor worker-pool size (0 = one goroutine per task)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"Monte Carlo estimation workers for the μ bisection probes")
 	flag.Parse()
 
 	switch {
 	case *converge:
-		runConverge(*n, *seed)
+		runConverge(*n, *seed, *workers)
 	case *ablate:
-		runAblate(*n, *rho, *seed)
+		runAblate(*n, *rho, *seed, *workers)
 	case *phases:
 		runPhases(*rho, *seed)
 	case *smart:
-		runSmartStart(*n, *rho, *seed)
+		runSmartStart(*n, *rho, *seed, *workers)
 	case *efficiency:
 		runEfficiency(*n, *rho, *seed, *par)
 	case *rhoSweep:
 		runRhoSweep(*n, *seed, *par)
 	default:
 		_ = fig3
-		runFig3(*n, *rho, *rounds, *seed, *plot)
+		runFig3(*n, *rho, *rounds, *seed, *plot, *workers)
 	}
 }
 
@@ -88,11 +90,11 @@ func mustWrite(tbl *trace.Table) {
 
 // runFig3 reproduces Fig. 3: two random graphs (different degrees), the
 // hybrid controller vs Recurrence A alone, m₀ = 2.
-func runFig3(n int, rho float64, rounds int, seed uint64, plot bool) {
+func runFig3(n int, rho float64, rounds int, seed uint64, plot bool, workers int) {
 	r := rng.New(seed)
 	for _, d := range []float64{16, 64} {
 		g := graph.RandomWithAvgDegree(r, n, d)
-		mu := control.TargetM(g, r.Split(), rho, 400)
+		mu := control.TargetMParallel(g, r.Split(), rho, 400, workers)
 		fmt.Printf("Fig. 3: n=%d d=%.0f ρ=%.0f%% — μ (bisection reference) = %d\n",
 			n, d, rho*100, mu)
 
@@ -133,7 +135,7 @@ func runFig3(n int, rho float64, rounds int, seed uint64, plot bool) {
 }
 
 // runConverge tabulates convergence steps across degrees and targets.
-func runConverge(n int, seed uint64) {
+func runConverge(n int, seed uint64, workers int) {
 	r := rng.New(seed)
 	fmt.Println("§4.1 convergence: rounds from m₀=2 until m stays within ±30% of μ")
 	tbl := trace.NewTable("convergence-steps",
@@ -141,7 +143,7 @@ func runConverge(n int, seed uint64) {
 	for _, d := range []float64{8, 16, 32, 64} {
 		g := graph.RandomWithAvgDegree(r, n, d)
 		for _, rho := range []float64{0.20, 0.25, 0.30} {
-			mu := control.TargetM(g, r.Split(), rho, 400)
+			mu := control.TargetMParallel(g, r.Split(), rho, 400, workers)
 			step := func(c control.Controller) float64 {
 				tr := control.RunLoopStatic(g, r.Split(), c, 400)
 				return float64(tr.ConvergenceStep(float64(mu), 0.30, 8))
@@ -160,10 +162,10 @@ func runConverge(n int, seed uint64) {
 
 // runAblate quantifies each §4.1 design choice by steady-state
 // oscillation and convergence speed.
-func runAblate(n int, rho float64, seed uint64) {
+func runAblate(n int, rho float64, seed uint64, workers int) {
 	r := rng.New(seed)
 	g := graph.RandomWithAvgDegree(r, n, 16)
-	mu := control.TargetM(g, r.Split(), rho, 400)
+	mu := control.TargetMParallel(g, r.Split(), rho, 400, workers)
 	fmt.Printf("Ablations on n=%d d=16 ρ=%.0f%% (μ=%d); 400 rounds each\n", n, rho*100, mu)
 
 	variants := []struct {
@@ -212,7 +214,7 @@ func runAblate(n int, rho float64, seed uint64) {
 // runSmartStart compares the cold start (m₀=2), the §4 Cor. 3 smart
 // start (m₀ = n/(2(d+1))), and the pure-theory guaranteed allocation
 // (largest m whose worst-case bound stays within ρ, no feedback).
-func runSmartStart(n int, rho float64, seed uint64) {
+func runSmartStart(n int, rho float64, seed uint64, workers int) {
 	r := rng.New(seed)
 	fmt.Printf("Smart start (Cor. 3) vs cold start, n=%d ρ=%.0f%%\n", n, rho*100)
 	tbl := trace.NewTable("smart-start",
@@ -220,7 +222,7 @@ func runSmartStart(n int, rho float64, seed uint64) {
 		"smart_first_ratio", "guaranteed_m")
 	for _, d := range []float64{8, 16, 32, 64} {
 		g := graph.RandomWithAvgDegree(r, n, d)
-		mu := control.TargetM(g, r.Split(), rho, 400)
+		mu := control.TargetMParallel(g, r.Split(), rho, 400, workers)
 
 		cold := control.NewHybrid(control.DefaultHybridConfig(rho))
 		trCold := control.RunLoopStatic(g, r.Split(), cold, 300)

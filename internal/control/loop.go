@@ -133,3 +133,29 @@ func TargetM(g *graph.Graph, r *rng.Rand, rho float64, reps int) int {
 	}
 	return lo
 }
+
+// TargetMParallel is TargetM rebuilt on the CSR estimation engine: the
+// graph is snapshotted once and every bisection probe shards its reps
+// across workers (≤ 0 means GOMAXPROCS), so the ~log₂ n probes of a
+// model-based target query reuse one flat snapshot instead of re-walking
+// the map adjacency.
+func TargetMParallel(g *graph.Graph, r *rng.Rand, rho float64, reps, workers int) int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	est := sched.NewEstimator(g, workers)
+	lo, hi := 1, n // r̄(1) = 0 ≤ rho always
+	if est.ConflictRatio(r, n, reps) <= rho {
+		return n
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if est.ConflictRatio(r, mid, reps) <= rho {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,35 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestTargetMParallelAgreesWithSerial checks the CSR-engine bisection
+// against the seed serial one: both locate μ for the same graph, so the
+// results must agree up to Monte Carlo noise around the threshold.
+func TestTargetMParallelAgreesWithSerial(t *testing.T) {
+	g := graph.RandomWithAvgDegree(rng.New(1), 600, 12)
+	serial := TargetM(g, rng.New(2), 0.25, 400)
+	if serial < 2 {
+		t.Fatalf("implausible serial μ = %d", serial)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		par := TargetMParallel(g, rng.New(3), 0.25, 400, workers)
+		if math.Abs(float64(par-serial))/float64(serial) > 0.15 {
+			t.Errorf("workers=%d: parallel μ = %d vs serial μ = %d", workers, par, serial)
+		}
+	}
+	// Reproducibility: fixed (seed, reps, workers) is bit-identical.
+	a := TargetMParallel(g, rng.New(7), 0.2, 300, 3)
+	b := TargetMParallel(g, rng.New(7), 0.2, 300, 3)
+	if a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+	if got := TargetMParallel(graph.New(), rng.New(1), 0.2, 100, 4); got != 0 {
+		t.Fatalf("empty graph μ = %d", got)
+	}
+}

@@ -111,6 +111,19 @@ func (s *Simulation) TargetM(rho float64, reps int) int {
 	return control.TargetM(s.g, s.r, rho, reps)
 }
 
+// ConflictRatioParallel estimates r̄(m) on a flat CSR snapshot with the
+// Monte Carlo reps sharded across workers (≤ 0 means GOMAXPROCS); see
+// internal/sched.Estimator for the determinism contract.
+func (s *Simulation) ConflictRatioParallel(m, reps, workers int) float64 {
+	return sched.ConflictRatioMCParallel(s.g, s.r, m, reps, workers)
+}
+
+// TargetMParallel is TargetM on the CSR estimation engine: one snapshot
+// serves every bisection probe, each probe sharding reps across workers.
+func (s *Simulation) TargetMParallel(rho float64, reps, workers int) int {
+	return control.TargetMParallel(s.g, s.r, rho, reps, workers)
+}
+
 // Estimate bundles the closed-form §3 theory for a graph shape (n, d).
 type Estimate struct {
 	N int

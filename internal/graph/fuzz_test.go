@@ -61,6 +61,70 @@ func FuzzGraphMutations(f *testing.F) {
 	})
 }
 
+// FuzzCSRGreedyMIS drives a graph through an arbitrary mutation script,
+// snapshots it to CSR, and asserts the CSR greedy-MIS kernel agrees with
+// the map-based GreedyMIS node-for-node on a random commit order.
+func FuzzCSRGreedyMIS(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint64(7), []byte{1, 0, 1, 1, 1, 2, 2, 0, 0, 5, 3, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		g := NewWithNodes(3)
+		for i := 0; i+1 < len(script) && i < 120; i += 2 {
+			op, arg := script[i], int(script[i+1])
+			nodes := g.Nodes()
+			switch op % 3 {
+			case 0:
+				g.AddNode()
+			case 1:
+				if len(nodes) >= 2 {
+					u := nodes[arg%len(nodes)]
+					v := nodes[(arg+1)%len(nodes)]
+					if u != v && !g.HasEdge(u, v) {
+						g.AddEdge(u, v)
+					}
+				}
+			case 2:
+				if len(nodes) > 0 {
+					g.RemoveNode(nodes[arg%len(nodes)])
+				}
+			}
+		}
+		c := NewCSR(g)
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("snapshot shape (%d,%d) vs graph (%d,%d)",
+				c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		if g.NumNodes() == 0 {
+			return
+		}
+		r := rng.New(seed)
+		m := r.Intn(g.NumNodes() + 1)
+		order := g.SampleNodes(r, m)
+		wantSel, _ := GreedyMIS(g, order)
+		csrOrder := make([]int32, len(order))
+		for i, id := range order {
+			ci := c.IndexOf(id)
+			if ci < 0 {
+				t.Fatalf("live node %d missing from remap", id)
+			}
+			csrOrder[i] = int32(ci)
+		}
+		var s CSRScratch
+		sel, _ := s.Partition(c, csrOrder, nil, nil)
+		if len(sel) != len(wantSel) {
+			t.Fatalf("CSR selected %d, map-based %d", len(sel), len(wantSel))
+		}
+		for i, v := range sel {
+			if c.ID(int(v)) != wantSel[i] {
+				t.Fatalf("selected[%d]: CSR %d, map-based %d", i, c.ID(int(v)), wantSel[i])
+			}
+		}
+		if got := s.MISSize(c, csrOrder); got != len(wantSel) {
+			t.Fatalf("MISSize %d, want %d", got, len(wantSel))
+		}
+	})
+}
+
 // FuzzPermPrefix checks the sampling primitive against arbitrary
 // (n, m, seed) combinations.
 func FuzzPermPrefix(f *testing.F) {

@@ -1,6 +1,16 @@
 package graph
 
-import "repro/internal/rng"
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// misScratchPool recycles MISScratch instances so the package-level
+// GreedyMIS helpers are allocation-free in steady state without forcing
+// every caller to thread a scratch through. Epoch marking makes a
+// recycled scratch indistinguishable from a fresh one.
+var misScratchPool = sync.Pool{New: func() any { return new(MISScratch) }}
 
 // GreedyMIS processes the given node order and returns the greedy maximal
 // independent set: a node is selected iff none of its neighbors was
@@ -10,45 +20,21 @@ import "repro/internal/rng"
 // the aborted ones.
 //
 // Nodes in order must be live in g; order may be any subset of the nodes
-// (the "active nodes" of a round).
+// (the "active nodes" of a round). Bookkeeping uses a pooled epoch-marked
+// scratch, so only the two result slices are allocated.
 func GreedyMIS(g *Graph, order []int) (selected, rejected []int) {
-	in := make(map[int]bool, len(order))
-	for _, v := range order {
-		ok := true
-		for u := range g.adj[v] {
-			if in[u] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			in[v] = true
-			selected = append(selected, v)
-		} else {
-			rejected = append(rejected, v)
-		}
-	}
+	s := misScratchPool.Get().(*MISScratch)
+	selected, rejected = s.Partition(g, order)
+	misScratchPool.Put(s)
 	return selected, rejected
 }
 
 // GreedyMISSize returns only the size of the greedy MIS over the order,
-// avoiding slice allocation for Monte Carlo inner loops.
+// avoiding any allocation for Monte Carlo inner loops.
 func GreedyMISSize(g *Graph, order []int) int {
-	in := make(map[int]bool, len(order))
-	size := 0
-	for _, v := range order {
-		ok := true
-		for u := range g.adj[v] {
-			if in[u] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			in[v] = true
-			size++
-		}
-	}
+	s := misScratchPool.Get().(*MISScratch)
+	size := s.Size(g, order)
+	misScratchPool.Put(s)
 	return size
 }
 
@@ -60,14 +46,20 @@ type MISScratch struct {
 	epoch uint64
 }
 
-// Size computes GreedyMISSize(g, order) without per-call allocation.
-func (s *MISScratch) Size(g *Graph, order []int) int {
-	if n := g.nextID; len(s.mark) < n {
-		grown := make([]uint64, n+n/2+16)
+// begin sizes the mark array for node IDs below bound and opens a fresh
+// epoch, invalidating all previous marks in O(1).
+func (s *MISScratch) begin(bound int) {
+	if len(s.mark) < bound {
+		grown := make([]uint64, bound+bound/2+16)
 		copy(grown, s.mark)
 		s.mark = grown
 	}
 	s.epoch++
+}
+
+// Size computes GreedyMISSize(g, order) without per-call allocation.
+func (s *MISScratch) Size(g *Graph, order []int) int {
+	s.begin(g.nextID)
 	size := 0
 	for _, v := range order {
 		ok := true
@@ -83,6 +75,28 @@ func (s *MISScratch) Size(g *Graph, order []int) int {
 		}
 	}
 	return size
+}
+
+// Partition computes GreedyMIS(g, order) reusing the scratch's epoch
+// marking; only the result slices are allocated.
+func (s *MISScratch) Partition(g *Graph, order []int) (selected, rejected []int) {
+	s.begin(g.nextID)
+	for _, v := range order {
+		ok := true
+		for u := range g.adj[v] {
+			if s.mark[u] == s.epoch {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.mark[v] = s.epoch
+			selected = append(selected, v)
+		} else {
+			rejected = append(rejected, v)
+		}
+	}
+	return selected, rejected
 }
 
 // ExpectedMISMonteCarlo estimates E[|greedy MIS|] over uniformly random

@@ -31,12 +31,29 @@ type Point struct {
 // used by Kulkarni et al. to chart amorphous data-parallelism.
 // The mutator hook, if non-nil, lets applications regrow work.
 func Profile(g *graph.Graph, r *rng.Rand, mut sched.Mutator, misReps, maxSteps int) []Point {
+	return profileWorkers(g, r, mut, misReps, maxSteps, 1)
+}
+
+// ProfileParallel is Profile with the per-step MIS estimation running on
+// the CSR engine: each step snapshots the current graph once and shards
+// the misReps greedy permutations across workers (≤ 0 = GOMAXPROCS).
+// The drain itself (commit + mutate) is unchanged.
+func ProfileParallel(g *graph.Graph, r *rng.Rand, mut sched.Mutator, misReps, maxSteps, workers int) []Point {
+	return profileWorkers(g, r, mut, misReps, maxSteps, workers)
+}
+
+func profileWorkers(g *graph.Graph, r *rng.Rand, mut sched.Mutator, misReps, maxSteps, workers int) []Point {
 	if misReps < 1 {
 		misReps = 1
 	}
 	var out []Point
 	for step := 0; step < maxSteps && g.NumNodes() > 0; step++ {
-		par := graph.ExpectedMISMonteCarlo(g, r, misReps)
+		var par float64
+		if workers == 1 {
+			par = graph.ExpectedMISMonteCarlo(g, r, misReps)
+		} else {
+			par = graph.ExpectedMISMonteCarloParallel(g, r, misReps, workers)
+		}
 		out = append(out, Point{
 			Step:        step,
 			Live:        g.NumNodes(),

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"math"
+	"runtime"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Estimator is the Monte Carlo estimation engine over one CSR snapshot of
+// a CC graph. Building it freezes the graph into flat adjacency arrays
+// (graph.NewCSR) once; every estimate then shards its reps across the
+// configured worker pool, each worker drawing from its own rng.Split
+// stream into allocation-free epoch-marked scratch. Reusing one Estimator
+// across many m values (curves, bisections, sweeps) amortizes the
+// snapshot cost to nothing.
+//
+// Results are reproducible: for a fixed (rng state, reps, workers) every
+// method returns bit-identical values — reps shard into contiguous
+// per-worker blocks and the integer moment sums are reduced in worker
+// order (see graph.(*CSR).MISMoments). Changing the worker count re-draws
+// the streams, giving a statistically equivalent but not bit-identical
+// estimate.
+type Estimator struct {
+	csr     *graph.CSR
+	workers int
+}
+
+// NewEstimator snapshots g and returns an engine with the given worker
+// count; workers ≤ 0 means GOMAXPROCS. The snapshot shares no state with
+// g, so later mutation of g does not affect the estimator.
+func NewEstimator(g *graph.Graph, workers int) *Estimator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Estimator{csr: graph.NewCSR(g), workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (e *Estimator) Workers() int { return e.workers }
+
+// NumNodes returns the number of nodes in the snapshot.
+func (e *Estimator) NumNodes() int { return e.csr.NumNodes() }
+
+// CSR exposes the underlying snapshot.
+func (e *Estimator) CSR() *graph.CSR { return e.csr }
+
+// clampM applies the estimators' common m policy: non-positive m means no
+// work, m beyond the snapshot saturates at n.
+func (e *Estimator) clampM(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	if n := e.csr.NumNodes(); m > n {
+		return n
+	}
+	return m
+}
+
+// ConflictRatio estimates r̄(m) (Eq. 1): the parallel CSR counterpart of
+// ConflictRatioMC. reps must be positive.
+func (e *Estimator) ConflictRatio(r *rng.Rand, m, reps int) float64 {
+	if reps <= 0 {
+		panic("sched: Estimator.ConflictRatio requires positive reps")
+	}
+	mm := e.clampM(m)
+	if mm == 0 {
+		return 0
+	}
+	sum, _ := e.csr.MISMoments(r, mm, reps, e.workers)
+	total := int64(reps) * int64(mm)
+	return float64(total-sum) / float64(total)
+}
+
+// ConflictRatioDist estimates the mean and sample standard deviation of
+// the per-round conflict ratio r_t at the given m — the parallel CSR
+// counterpart of ConflictRatioDistMC. reps must exceed 1.
+//
+// Both moments derive from the exact integer sums Σs and Σs² of the
+// per-rep MIS sizes, so the reduction order cannot perturb the result.
+func (e *Estimator) ConflictRatioDist(r *rng.Rand, m, reps int) (mean, std float64) {
+	if reps <= 1 {
+		panic("sched: Estimator.ConflictRatioDist requires reps > 1")
+	}
+	mm := e.clampM(m)
+	if mm == 0 {
+		return 0, 0
+	}
+	sum, sumSq := e.csr.MISMoments(r, mm, reps, e.workers)
+	// Per-rep ratio x_i = (mm − s_i)/mm: convert the size moments.
+	fm := float64(mm)
+	n := float64(reps)
+	sumX := n - float64(sum)/fm
+	sumXX := (n*fm*fm - 2*fm*float64(sum) + float64(sumSq)) / (fm * fm)
+	mean = sumX / n
+	variance := (sumXX - sumX*sumX/n) / (n - 1) // unbiased, matching stats.Accumulator
+	if variance < 0 {
+		variance = 0 // guard the subtraction against rounding
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// ExpectedCommitted estimates EM_m(G), the expected committed count per
+// round — the parallel CSR counterpart of ExpectedCommittedMC.
+func (e *Estimator) ExpectedCommitted(r *rng.Rand, m, reps int) float64 {
+	if reps <= 0 {
+		return 0
+	}
+	mm := e.clampM(m)
+	sum, _ := e.csr.MISMoments(r, mm, reps, e.workers)
+	return float64(sum) / float64(reps)
+}
+
+// Curve samples r̄(m) at the given m values, reusing the snapshot across
+// all points — the parallel counterpart of ConflictCurve.
+func (e *Estimator) Curve(r *rng.Rand, ms []int, reps int) []CurvePoint {
+	out := make([]CurvePoint, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, CurvePoint{M: m, Ratio: e.ConflictRatio(r, m, reps)})
+	}
+	return out
+}
+
+// ConflictRatioMCParallel estimates r̄(m) on a one-shot CSR snapshot with
+// reps sharded across workers (≤ 0 means GOMAXPROCS). Prefer building an
+// Estimator when probing the same graph at several m values.
+func ConflictRatioMCParallel(g *graph.Graph, r *rng.Rand, m, reps, workers int) float64 {
+	return NewEstimator(g, workers).ConflictRatio(r, m, reps)
+}
+
+// ConflictRatioDistMCParallel is the parallel counterpart of
+// ConflictRatioDistMC; see Estimator.ConflictRatioDist.
+func ConflictRatioDistMCParallel(g *graph.Graph, r *rng.Rand, m, reps, workers int) (float64, float64) {
+	return NewEstimator(g, workers).ConflictRatioDist(r, m, reps)
+}
+
+// ExpectedCommittedMCParallel is the parallel counterpart of
+// ExpectedCommittedMC; see Estimator.ExpectedCommitted.
+func ExpectedCommittedMCParallel(g *graph.Graph, r *rng.Rand, m, reps, workers int) float64 {
+	return NewEstimator(g, workers).ExpectedCommitted(r, m, reps)
+}
+
+// ConflictCurveParallel samples r̄(m) at the given m values over a single
+// shared CSR snapshot — the parallel counterpart of ConflictCurve.
+func ConflictCurveParallel(g *graph.Graph, r *rng.Rand, ms []int, reps, workers int) []CurvePoint {
+	return NewEstimator(g, workers).Curve(r, ms, reps)
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestParallelEstimatorsAgreeWithSerial compares every parallel estimator
+// against its seed serial counterpart at fixed seeds. The rng streams
+// differ by construction, so agreement is within Monte Carlo tolerance.
+func TestParallelEstimatorsAgreeWithSerial(t *testing.T) {
+	g := graph.RandomWithAvgDegree(rng.New(1), 500, 12)
+	const reps = 4000
+	for _, m := range []int{2, 25, 125, 400, 500} {
+		serial := ConflictRatioMC(g, rng.New(10), m, reps)
+		for _, workers := range []int{1, 2, 8} {
+			par := ConflictRatioMCParallel(g, rng.New(20), m, reps, workers)
+			if absDiff(par, serial) > 0.02 {
+				t.Errorf("m=%d workers=%d: parallel ratio %.4f vs serial %.4f",
+					m, workers, par, serial)
+			}
+		}
+		sc := ExpectedCommittedMC(g, rng.New(30), m, reps)
+		pc := ExpectedCommittedMCParallel(g, rng.New(40), m, reps, 4)
+		if sc > 0 && absDiff(pc, sc)/sc > 0.02 {
+			t.Errorf("m=%d: parallel committed %.3f vs serial %.3f", m, pc, sc)
+		}
+	}
+}
+
+func TestParallelDistAgreesWithSerial(t *testing.T) {
+	g := graph.RandomWithAvgDegree(rng.New(2), 400, 16)
+	const reps = 6000
+	for _, m := range []int{4, 32, 128} {
+		sMean, sStd := ConflictRatioDistMC(g, rng.New(5), m, reps)
+		pMean, pStd := ConflictRatioDistMCParallel(g, rng.New(6), m, reps, 4)
+		if absDiff(pMean, sMean) > 0.02 {
+			t.Errorf("m=%d: mean %.4f vs %.4f", m, pMean, sMean)
+		}
+		if absDiff(pStd, sStd) > 0.02 {
+			t.Errorf("m=%d: std %.4f vs %.4f", m, pStd, sStd)
+		}
+	}
+}
+
+// TestParallelEstimatorDeterminism pins the (seed, reps, workers)
+// reproducibility contract for the engine's public methods.
+func TestParallelEstimatorDeterminism(t *testing.T) {
+	g := graph.RandomWithAvgDegree(rng.New(3), 300, 10)
+	for _, workers := range []int{1, 3, 7} {
+		e1 := NewEstimator(g, workers)
+		e2 := NewEstimator(g, workers)
+		if a, b := e1.ConflictRatio(rng.New(9), 77, 200), e2.ConflictRatio(rng.New(9), 77, 200); a != b {
+			t.Fatalf("workers=%d: ConflictRatio %v != %v", workers, a, b)
+		}
+		m1, s1 := e1.ConflictRatioDist(rng.New(9), 77, 200)
+		m2, s2 := e2.ConflictRatioDist(rng.New(9), 77, 200)
+		if m1 != m2 || s1 != s2 {
+			t.Fatalf("workers=%d: Dist (%v,%v) != (%v,%v)", workers, m1, s1, m2, s2)
+		}
+	}
+}
+
+// TestEstimatorSnapshotIndependence verifies the CSR snapshot decouples
+// the estimator from later graph mutation.
+func TestEstimatorSnapshotIndependence(t *testing.T) {
+	g := graph.RandomWithAvgDegree(rng.New(4), 200, 8)
+	e := NewEstimator(g, 2)
+	before := e.ConflictRatio(rng.New(1), 50, 500)
+	for g.NumNodes() > 0 {
+		g.RemoveNode(g.NodeAt(0))
+	}
+	after := e.ConflictRatio(rng.New(1), 50, 500)
+	if before != after {
+		t.Fatalf("snapshot leaked graph mutation: %v vs %v", before, after)
+	}
+}
+
+func TestEstimatorEdgeCases(t *testing.T) {
+	empty := graph.New()
+	e := NewEstimator(empty, 4)
+	if got := e.ConflictRatio(rng.New(1), 10, 50); got != 0 {
+		t.Fatalf("empty graph ratio = %v", got)
+	}
+	if got := e.ExpectedCommitted(rng.New(1), 10, 50); got != 0 {
+		t.Fatalf("empty graph committed = %v", got)
+	}
+	g := graph.NewWithNodes(5)
+	e = NewEstimator(g, 3)
+	if got := e.ConflictRatio(rng.New(1), 0, 50); got != 0 {
+		t.Fatalf("m=0 ratio = %v", got)
+	}
+	// Edgeless graph: nothing ever conflicts, even with m > n.
+	if got := e.ConflictRatio(rng.New(1), 50, 50); got != 0 {
+		t.Fatalf("edgeless ratio = %v", got)
+	}
+	if got := e.ExpectedCommitted(rng.New(1), 50, 50); got != 5 {
+		t.Fatalf("edgeless committed = %v, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConflictRatio with reps=0 should panic like the serial estimator")
+		}
+	}()
+	e.ConflictRatio(rng.New(1), 2, 0)
+}
+
+// TestParallelCurveMatchesPointwise checks Curve against per-point
+// parallel estimates and the exact oracle on a tiny graph.
+func TestParallelCurveMatchesPointwise(t *testing.T) {
+	g := graph.CliqueUnion(8, 3) // two K4s: exactly enumerable
+	ms := []int{1, 2, 4, 8}
+	pts := ConflictCurveParallel(g, rng.New(11), ms, 20000, 3)
+	if len(pts) != len(ms) {
+		t.Fatalf("curve has %d points, want %d", len(pts), len(ms))
+	}
+	for _, p := range pts {
+		exact := ExactConflictRatio(g, p.M)
+		if absDiff(p.Ratio, exact) > 0.02 {
+			t.Errorf("m=%d: curve %.4f vs exact %.4f", p.M, p.Ratio, exact)
+		}
+	}
+}
+
+// --- benchmarks: the seed serial estimator vs the CSR parallel engine --
+
+// benchEstimatorConfig is the Fig. 2 configuration named in the issue:
+// n=2000, d=16, probing m = n/4 with 50 reps per estimate (matching the
+// root-level BenchmarkFig2RandomGraph).
+func benchGraph() *graph.Graph {
+	return graph.RandomWithAvgDegree(rng.New(2), 2000, 16)
+}
+
+func BenchmarkConflictRatioMCSerial(b *testing.B) {
+	g := benchGraph()
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConflictRatioMC(g, r, 500, 50)
+	}
+}
+
+func BenchmarkConflictRatioMCParallel(b *testing.B) {
+	g := benchGraph()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			est := NewEstimator(g, workers)
+			r := rng.New(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est.ConflictRatio(r, 500, 50)
+			}
+		})
+	}
+}

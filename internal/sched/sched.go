@@ -180,12 +180,16 @@ func ExactConflictRatio(g *graph.Graph, m int) float64 {
 	nodes := g.Nodes()
 	used := make([]bool, n)
 	order := make([]int, 0, m)
+	// One epoch-marked scratch serves every leaf of the n!/(n−m)!-order
+	// enumeration; allocating a fresh map per leaf dominated the oracle's
+	// runtime before.
+	var scratch graph.MISScratch
 	var totalAborts, totalOrders int64
 	var rec func(depth int)
 	rec = func(depth int) {
 		if depth == m {
 			totalOrders++
-			totalAborts += int64(m - graph.GreedyMISSize(g, order))
+			totalAborts += int64(m - scratch.Size(g, order))
 			return
 		}
 		for i := 0; i < n; i++ {
