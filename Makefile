@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: check vet build test race bench bench-sim
+.PHONY: check vet build test race chaos bench bench-sim
 
 check: vet build test race
 
@@ -31,6 +31,15 @@ test:
 race:
 	$(GO) test -race ./internal/speculation/ ./internal/workset/ ./internal/workload/ ./internal/service/ \
 		./internal/graph/ ./internal/sched/ ./internal/profile/ ./internal/control/
+
+# chaos runs the fault-injection and cancellation end-to-end suites
+# under the race detector: deterministic panic/error/delay injection
+# through the executors, 429 storms against the client backoff, and
+# cancel/deadline/shutdown races. Bounded well under a minute.
+chaos:
+	$(GO) test -race -count=1 -timeout 120s \
+		-run 'Chaos|Cancel|Deadline|Fault|Inject|Poison|Failure' \
+		./internal/faultinject/ ./internal/service/ ./internal/workload/ ./internal/speculation/
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	par := flag.Int("parallel", runtime.NumCPU(),
 		"worker-pool size (0 = one goroutine per task, model-faithful)")
+	maxRounds := flag.Int("max-rounds", 1<<30, "abandon a run after this many rounds")
+	retries := flag.Int("task-retries", 0,
+		"retry budget for failed tasks (0 = default, negative = no retries)")
 	flag.Parse()
 
 	newCtrl := func() control.Controller {
@@ -62,13 +66,20 @@ func main() {
 	}
 	for _, a := range apps {
 		c := newCtrl()
-		run, err := workload.New(a, workload.Params{Size: *size, Seed: *seed, Parallel: *par})
+		run, err := workload.New(a, workload.Params{
+			Size: *size, Seed: *seed, Parallel: *par, TaskRetries: *retries})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unknown app %q\n", a)
 			os.Exit(2)
 		}
-		res := workload.Drain(run.Stepper, c, 1<<30)
-		run.Report(os.Stdout, res)
+		res := workload.Drain(context.Background(), run.Stepper, c, *maxRounds)
+		if pending := run.Stepper.Pending(); pending > 0 {
+			// The cap cut the drain short; the oracle would report a
+			// partial result as a failure, so say what happened instead.
+			run.ReportIncomplete(os.Stdout, res, pending)
+		} else {
+			run.Report(os.Stdout, res)
+		}
 		run.Stepper.Close()
 	}
 }

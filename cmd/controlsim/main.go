@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -256,7 +257,7 @@ func runEfficiency(n int, rho float64, seed uint64, par int) {
 			panic(err)
 		}
 		defer cc.Stepper.Close()
-		return workload.Drain(cc.Stepper, c, 1<<30)
+		return workload.Drain(context.Background(), cc.Stepper, c, 1<<30)
 	}
 	tbl := trace.NewTable("efficiency",
 		"allocation", "rounds", "proc_rounds", "wasted", "efficiency")
@@ -296,7 +297,7 @@ func runRhoSweep(n int, seed uint64, par int) {
 			if err != nil {
 				panic(err)
 			}
-			res := workload.Drain(cc.Stepper,
+			res := workload.Drain(context.Background(), cc.Stepper,
 				mustCtrl("hybrid", workload.ControllerParams{Rho: rho}), 1<<30)
 			cc.Stepper.Close()
 			rounds += float64(res.Rounds)

@@ -7,11 +7,12 @@
 //
 // API (see internal/service):
 //
-//	POST /v1/jobs       {"workload":"mesh","controller":"hybrid","rho":0.25,...}
-//	GET  /v1/jobs       list jobs
-//	GET  /v1/jobs/{id}  live status: current m, conflict ratio, trajectory
-//	GET  /metrics       Prometheus text exposition
-//	GET  /healthz       liveness / drain signal
+//	POST   /v1/jobs       {"workload":"mesh","controller":"hybrid","rho":0.25,...}
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  live status: current m, conflict ratio, trajectory
+//	DELETE /v1/jobs/{id}  cancel a queued or running job at the next round barrier
+//	GET    /metrics       Prometheus text exposition
+//	GET    /healthz       liveness / drain signal, queue depth, in-flight and poisoned counts
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
@@ -42,6 +43,8 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent job runners")
 	history := flag.Int("history", 256, "per-job trajectory ring-buffer size")
 	parallel := flag.Int("parallel", 2, "default executor worker-pool size for jobs that do not set one")
+	maxRounds := flag.Int("max-rounds", 0, "hard per-job round cap (0 = effectively unlimited)")
+	taskRetries := flag.Int("task-retries", 0, "default retry budget for failed tasks (0 = executor default, -1 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight rounds on shutdown")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -49,11 +52,13 @@ func main() {
 	logger := log.New(os.Stdout, "", log.LstdFlags)
 
 	svc := service.New(service.Config{
-		QueueCap:        *queueCap,
-		Workers:         *workers,
-		HistoryCap:      *history,
-		DefaultParallel: *parallel,
-		Logf:            logger.Printf,
+		QueueCap:           *queueCap,
+		Workers:            *workers,
+		HistoryCap:         *history,
+		DefaultParallel:    *parallel,
+		MaxRounds:          *maxRounds,
+		DefaultTaskRetries: *taskRetries,
+		Logf:               logger.Printf,
 	})
 
 	mux := http.NewServeMux()

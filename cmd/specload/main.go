@@ -36,6 +36,8 @@ func main() {
 	poll := flag.Duration("poll", 100*time.Millisecond, "status poll interval")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	expectReject := flag.Bool("expect-reject", true, "treat 429 rejections as expected backpressure")
+	retries := flag.Int("retries", 0, "resubmit attempts after a 429, honoring Retry-After")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff between resubmits (doubles, jittered)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -50,6 +52,7 @@ func main() {
 	type outcome struct {
 		id       string
 		rejected bool
+		retries  int
 		err      error
 	}
 	results := make([]outcome, *jobs)
@@ -59,7 +62,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st, err := c.Submit(ctx, service.JobSpec{
+			st, stats, err := c.SubmitRetry(ctx, service.JobSpec{
 				Workload:   *wl,
 				Controller: *ctrl,
 				Rho:        *rho,
@@ -67,22 +70,27 @@ func main() {
 				Size:       *size,
 				Seed:       *seed + uint64(i),
 				Parallel:   *parallel,
+			}, client.Backoff{
+				MaxRetries: *retries,
+				Base:       *backoff,
+				Seed:       *seed + uint64(i),
 			})
 			switch {
 			case errors.Is(err, client.ErrBusy):
-				results[i] = outcome{rejected: true}
+				results[i] = outcome{rejected: true, retries: stats.Retries}
 			case err != nil:
-				results[i] = outcome{err: err}
+				results[i] = outcome{err: err, retries: stats.Retries}
 			default:
-				results[i] = outcome{id: st.ID}
+				results[i] = outcome{id: st.ID, retries: stats.Retries}
 			}
 		}(i)
 	}
 	wg.Wait()
 
-	accepted, rejected, failed := 0, 0, 0
+	accepted, rejected, retried, failed := 0, 0, 0, 0
 	var totalCommits, totalAborts int64
 	for _, r := range results {
+		retried += r.retries
 		switch {
 		case r.err != nil:
 			fmt.Fprintf(os.Stderr, "specload: submit failed: %v\n", r.err)
@@ -111,8 +119,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("specload: %d submitted, %d accepted, %d rejected (429), %d failed in %.2fs; commits=%d aborts=%d\n",
-		*jobs, accepted, rejected, failed, time.Since(start).Seconds(), totalCommits, totalAborts)
+	fmt.Printf("specload: %d submitted, %d accepted, %d rejected (429), %d retried, %d failed in %.2fs; commits=%d aborts=%d\n",
+		*jobs, accepted, rejected, retried, failed, time.Since(start).Seconds(), totalCommits, totalAborts)
 	if failed > 0 || (rejected > 0 && !*expectReject) {
 		os.Exit(1)
 	}

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// RoundTripper injects deterministic 429 responses in front of a real
+// http.RoundTripper, simulating service backpressure without the
+// service being busy. Each matching request draws from a seeded stream:
+// with probability Rate the request is answered locally with 429 and a
+// Retry-After header; otherwise it passes through to Base.
+//
+// The draw sequence is deterministic, so a single-goroutine caller sees
+// the same reject pattern every run. Concurrent callers still get a
+// deterministic total rejection count over n requests if Rate is 0 or 1,
+// and a seed-stable distribution otherwise.
+type RoundTripper struct {
+	// Base performs real requests. Defaults to http.DefaultTransport.
+	Base http.RoundTripper
+
+	// Rate is the probability a matching request is rejected.
+	Rate float64
+
+	// RetryAfter is the value (in whole seconds, minimum 1) sent in
+	// the Retry-After header of injected 429s.
+	RetryAfter int
+
+	// Match selects which requests are candidates for rejection.
+	// Defaults to POST requests (job submissions), leaving polls and
+	// health checks untouched.
+	Match func(*http.Request) bool
+
+	// Seed drives the rejection stream.
+	Seed uint64
+
+	mu       sync.Mutex
+	r        *rng.Rand // lazily seeded under mu
+	injected atomic.Int64
+	passed   atomic.Int64
+}
+
+// Injected returns how many 429s the tripper has fabricated.
+func (t *RoundTripper) Injected() int64 { return t.injected.Load() }
+
+// Passed returns how many requests went through to Base.
+func (t *RoundTripper) Passed() int64 { return t.passed.Load() }
+
+func (t *RoundTripper) draw() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.r == nil {
+		t.r = rng.New(t.Seed)
+	}
+	return t.r.Float64() < t.Rate
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	match := t.Match
+	if match == nil {
+		match = func(r *http.Request) bool { return r.Method == http.MethodPost }
+	}
+	if match(req) && t.draw() {
+		t.injected.Add(1)
+		retryAfter := t.RetryAfter
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		body := `{"error":"faultinject: queue full"}` + "\n"
+		resp := &http.Response{
+			Status:     "429 Too Many Requests",
+			StatusCode: http.StatusTooManyRequests,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header: http.Header{
+				"Content-Type": []string{"application/json"},
+				"Retry-After":  []string{strconv.Itoa(retryAfter)},
+			},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return resp, nil
+	}
+	t.passed.Add(1)
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// spinSpec builds a never-draining job bounded only by the given
+// wall-clock deadline, so cancellation (not drain) must end it.
+func spinSpec(seed uint64, maxDur time.Duration) JobSpec {
+	return JobSpec{
+		Workload: "spin", Controller: "hybrid", Size: 8, Seed: seed,
+		Parallel: 1, MaxDuration: Duration(maxDur),
+	}
+}
+
+// waitState polls until the job reaches state or the deadline passes.
+func waitState(t *testing.T, s *Service, id string, want State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, ok := s.Job(id)
+		if ok && st.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := s.Job(id)
+	t.Fatalf("job %s never reached %s (state %s)", id, want, st.State)
+}
+
+// checkNoGoroutineLeak asserts the goroutine count settles back to the
+// pre-test baseline (same tolerance as the executor pool tests).
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; i < 200 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutine leak: %d before, %d after", before, g)
+	}
+}
+
+// TestCancelRunningJobAtRoundBarrier: DELETE on a running job returns
+// immediately and the job goes canceled within one round barrier.
+func TestCancelRunningJobAtRoundBarrier(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 1})
+	st, err := s.Submit(spinSpec(1, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 2*time.Second)
+
+	got, err := s.Cancel(st.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if got.State != StateRunning && got.State != StateCanceled {
+		t.Fatalf("cancel returned state %s", got.State)
+	}
+	waitState(t, s, st.ID, StateCanceled, 2*time.Second)
+	fin, _ := s.Job(st.ID)
+	if fin.Reason != ReasonUserCancel {
+		t.Fatalf("reason %q, want %q", fin.Reason, ReasonUserCancel)
+	}
+	if fin.Rounds == 0 {
+		t.Error("job canceled before running a single round — expected mid-run cancel")
+	}
+	// Idempotence: canceling again reports terminal.
+	if _, err := s.Cancel(st.ID); !errors.Is(err, ErrJobTerminal) {
+		t.Fatalf("second cancel: %v, want ErrJobTerminal", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestCancelQueuedJob: a job canceled during its queue wait never runs.
+func TestCancelQueuedJob(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 1})
+	running, err := s.Submit(spinSpec(1, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateRunning, 2*time.Second)
+	queued, err := s.Submit(spinSpec(2, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.Cancel(queued.ID)
+	if err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if got.State != StateCanceled || got.Reason != ReasonUserCancel {
+		t.Fatalf("queued job after cancel: state=%s reason=%q", got.State, got.Reason)
+	}
+	if got.StartedAt != nil {
+		t.Error("canceled queued job has a start time")
+	}
+
+	// Free the worker; it must skip the canceled job, not resurrect it.
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	waitState(t, s, running.ID, StateCanceled, 2*time.Second)
+	time.Sleep(20 * time.Millisecond) // give the worker a chance to pop the queue
+	if st, _ := s.Job(queued.ID); st.State != StateCanceled || st.StartedAt != nil {
+		t.Fatalf("canceled queued job was resurrected: %+v", st)
+	}
+
+	if _, err := s.Cancel("j999"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("cancel unknown: %v, want ErrNoJob", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestDeadlineTerminatesNeverDrainingJob is the acceptance criterion:
+// MaxDuration=100ms against spin terminates within one round of the
+// deadline, state canceled with the deadline reason.
+func TestDeadlineTerminatesNeverDrainingJob(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 1})
+	start := time.Now()
+	st, err := s.Submit(spinSpec(1, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateCanceled, 5*time.Second)
+	elapsed := time.Since(start)
+	fin, _ := s.Job(st.ID)
+	if fin.Reason != ReasonDeadline {
+		t.Fatalf("reason %q, want %q (error: %s)", fin.Reason, ReasonDeadline, fin.Error)
+	}
+	// Spin rounds are microseconds; generous slack for CI schedulers.
+	if elapsed > 3*time.Second {
+		t.Fatalf("deadline job took %v to terminate", elapsed)
+	}
+	if fin.Rounds == 0 {
+		t.Error("deadline job ran zero rounds")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestCancelConcurrentWithShutdown races user cancels against the
+// SIGTERM drain path: every running job must end canceled (either
+// reason), nothing deadlocks, and no goroutines leak.
+func TestCancelConcurrentWithShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 2})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(spinSpec(uint64(i+1), 30*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitState(t, s, id, StateRunning, 2*time.Second)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, id := range ids {
+			s.Cancel(id) // may race shutdown; both outcomes are valid
+		}
+	}()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	wg.Wait()
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown did not complete: %v", err)
+	}
+	for _, id := range ids {
+		st, _ := s.Job(id)
+		if st.State != StateCanceled {
+			t.Errorf("job %s state %s, want canceled", id, st.State)
+		}
+		if st.Reason != ReasonUserCancel && st.Reason != ReasonShutdown {
+			t.Errorf("job %s reason %q", id, st.Reason)
+		}
+	}
+	checkNoGoroutineLeak(t, before)
+}

@@ -1,0 +1,212 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// chaosFault is the fault profile from the acceptance criteria: 5%
+// panics plus errors, a small poison band, and delay injection.
+func chaosFault() *service.FaultSpec {
+	return &service.FaultSpec{
+		PanicRate: 0.05, ErrorRate: 0.05, PoisonRate: 0.03,
+		TransientAttempts: 2,
+		DelayRate:         0.05, Delay: service.Duration(200 * time.Microsecond),
+	}
+}
+
+// TestChaosServiceSurvivesInjectedFaults drives a fault-injected job
+// mix through the full HTTP stack under a deliberately tiny queue (so
+// 429 storms exercise the client backoff), with a concurrent /healthz
+// poller. The daemon must never crash, health must stay 200, every job
+// must reach a terminal state, and the poisoned-task counter must
+// equal the injectors' planned poison count exactly.
+func TestChaosServiceSurvivesInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	const (
+		jobs    = 12
+		size    = 300
+		retries = 3
+	)
+	_, c := startServer(t, service.Config{QueueCap: 2, Workers: 2})
+
+	// Health poller: /healthz must answer 200 for the whole run.
+	healthCtx, stopHealth := context.WithCancel(context.Background())
+	defer stopHealth()
+	var healthFailures atomic.Int64
+	var healthWG sync.WaitGroup
+	healthWG.Add(1)
+	go func() {
+		defer healthWG.Done()
+		for healthCtx.Err() == nil {
+			if err := c.Health(healthCtx); err != nil && healthCtx.Err() == nil {
+				healthFailures.Add(1)
+				t.Logf("healthz failed mid-chaos: %v", err)
+			}
+			select {
+			case <-healthCtx.Done():
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	ids := make([]string, jobs)
+	seeds := make([]uint64, jobs)
+	var wg sync.WaitGroup
+	var totalRetries atomic.Int64
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seeds[i] = uint64(100 + i)
+			st, stats, err := c.SubmitRetry(ctx, service.JobSpec{
+				Workload: "cc", Controller: "hybrid", Size: size,
+				Seed: seeds[i], Parallel: 2,
+				TaskRetries: retries, Fault: chaosFault(),
+			}, client.Backoff{MaxRetries: 500, Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Seed: uint64(i)})
+			if err != nil {
+				t.Errorf("job %d never admitted: %v", i, err)
+				return
+			}
+			totalRetries.Add(int64(stats.Retries))
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	// A 2-slot queue against 12 concurrent submitters must have pushed
+	// back at least once, or the backoff path went untested.
+	if totalRetries.Load() == 0 {
+		t.Error("no 429 retries occurred; queue backpressure untested")
+	}
+
+	// Every job terminal, done (some degraded), and internally balanced.
+	wantPoison := 0
+	for i, id := range ids {
+		st, err := c.Wait(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("job %d (%s) never finished: %v", i, id, err)
+		}
+		if st.State != service.StateDone {
+			t.Errorf("job %d (%s): state %s (%s)", i, id, st.State, st.Error)
+		}
+		if st.Launched != st.Committed+st.Aborted+st.Failed {
+			t.Errorf("job %d: unbalanced counters %+v", i, st)
+		}
+		// Mirror the server's spec lowering: fault seed inherits the
+		// job seed, so each job has its own deterministic plan.
+		cfg := faultinject.Config{
+			Seed: seeds[i], PanicRate: 0.05, ErrorRate: 0.05, PoisonRate: 0.03,
+			TransientAttempts: 2, DelayRate: 0.05, Delay: 200 * time.Microsecond,
+		}
+		want := cfg.PoisonPlanCount(size)
+		wantPoison += want
+		if st.Poisoned != int64(want) {
+			t.Errorf("job %d (seed %d): poisoned %d, want exactly %d", i, seeds[i], st.Poisoned, want)
+		}
+		if want > 0 && st.Reason != service.ReasonDegraded {
+			t.Errorf("job %d: %d poisons but reason %q", i, want, st.Reason)
+		}
+	}
+	if wantPoison == 0 {
+		t.Fatal("fault profile planned zero poisons across all jobs; adjust seeds")
+	}
+
+	// The exported counter must match the injector plans exactly.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := parseMetrics(t, text)
+	if got := m["specd_poisoned_tasks_total"]; got != float64(wantPoison) {
+		t.Errorf("specd_poisoned_tasks_total = %v, want exactly %d", got, wantPoison)
+	}
+	if m["specd_task_failures_total"] <= 0 {
+		t.Error("specd_task_failures_total not incremented under injection")
+	}
+
+	stopHealth()
+	healthWG.Wait()
+	if n := healthFailures.Load(); n > 0 {
+		t.Errorf("/healthz failed %d times during the chaos run", n)
+	}
+}
+
+// TestChaosClientBackoffAgainst429Storm exercises the client's
+// Retry-After handling against a deterministic 429-injecting transport
+// in front of a healthy server: every submit must eventually land.
+func TestChaosClientBackoffAgainst429Storm(t *testing.T) {
+	_, c := startServer(t, service.Config{QueueCap: 16, Workers: 2})
+	tripper := &faultinject.RoundTripper{
+		Base: http.DefaultTransport, Rate: 0.7, RetryAfter: 1, Seed: 42,
+	}
+	c.HTTPClient = &http.Client{Transport: tripper, Timeout: 10 * time.Second}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		st, stats, err := c.SubmitRetry(ctx, service.JobSpec{
+			Workload: "cc", Controller: "hybrid", Size: 100,
+			Seed: uint64(i + 1), Parallel: 1,
+		}, client.Backoff{MaxRetries: 100, Base: time.Millisecond, Max: 10 * time.Millisecond, Seed: uint64(i)})
+		if err != nil {
+			t.Fatalf("submit %d failed through injected 429s: %v (retries=%d)", i, err, stats.Retries)
+		}
+		if st.ID == "" {
+			t.Fatalf("submit %d returned empty job id", i)
+		}
+		if _, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil {
+			t.Fatalf("wait %s: %v", st.ID, err)
+		}
+	}
+	if tripper.Injected() == 0 {
+		t.Fatal("transport injected no 429s at rate 0.7; backoff untested")
+	}
+	if tripper.Passed() == 0 {
+		t.Fatal("transport passed no requests through")
+	}
+}
+
+// TestChaosBusyErrorCarriesRetryAfter pins the wire contract the
+// backoff relies on: a real 429 from the fault transport surfaces as
+// *BusyError with the server's Retry-After hint parsed.
+func TestChaosBusyErrorCarriesRetryAfter(t *testing.T) {
+	tripper := &faultinject.RoundTripper{
+		Base: http.DefaultTransport, Rate: 1.0, RetryAfter: 3, Seed: 1,
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("request reached origin despite rate 1.0")
+	}))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	c.HTTPClient = &http.Client{Transport: tripper, Timeout: 5 * time.Second}
+
+	_, err := c.Submit(context.Background(), service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 10, Seed: 1})
+	if !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	var be *client.BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %T does not unwrap to *BusyError", err)
+	}
+	if be.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", be.RetryAfter)
+	}
+}

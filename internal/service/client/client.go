@@ -10,15 +10,34 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/service"
 )
 
 // ErrBusy is returned by Submit when the server applies backpressure
 // (HTTP 429); the job was not enqueued and may be retried later.
 var ErrBusy = errors.New("client: server busy (queue full)")
+
+// BusyError is the concrete 429 error carrying the server's Retry-After
+// hint. errors.Is(err, ErrBusy) matches it.
+type BusyError struct {
+	// RetryAfter is the server's suggested wait (zero if absent).
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: server busy (retry after %v)", e.RetryAfter)
+	}
+	return ErrBusy.Error()
+}
+
+// Is makes errors.Is(err, ErrBusy) true for BusyError values.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
 
 // Client talks to one specd instance.
 type Client struct {
@@ -46,6 +65,13 @@ func (c *Client) do(req *http.Request, out any) (int, error) {
 	if err != nil {
 		return resp.StatusCode, err
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		be := &BusyError{}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			be.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return resp.StatusCode, be
+	}
 	if resp.StatusCode >= 400 {
 		var eb struct {
 			Error string `json:"error"`
@@ -63,7 +89,8 @@ func (c *Client) do(req *http.Request, out any) (int, error) {
 	return resp.StatusCode, nil
 }
 
-// Submit posts a job spec. On 429 it returns ErrBusy.
+// Submit posts a job spec. On 429 it returns a *BusyError (matched by
+// errors.Is(err, ErrBusy)) carrying the server's Retry-After hint.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
@@ -76,10 +103,76 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobS
 	}
 	req.Header.Set("Content-Type", "application/json")
 	var st service.JobStatus
-	code, err := c.do(req, &st)
-	if code == http.StatusTooManyRequests {
-		return service.JobStatus{}, ErrBusy
+	_, err = c.do(req, &st)
+	return st, err
+}
+
+// Backoff tunes SubmitRetry. Zero values take the documented defaults.
+type Backoff struct {
+	MaxRetries int           // additional attempts after the first (default 0: no retry)
+	Base       time.Duration // first wait, doubled per retry (default 50ms)
+	Max        time.Duration // hard cap on any single wait (default 2s)
+	Seed       uint64        // jitter seed, for deterministic tests
+}
+
+// RetryStats reports what SubmitRetry did.
+type RetryStats struct {
+	Attempts int // total submit attempts, including the first
+	Retries  int // attempts that followed a 429
+}
+
+// SubmitRetry submits with jittered exponential backoff on 429s: each
+// wait is uniformly drawn from [d/2, d) with d doubling from Base,
+// floored at the server's Retry-After hint and capped at Max. Any
+// non-busy result (success or other error) returns immediately.
+func (c *Client) SubmitRetry(ctx context.Context, spec service.JobSpec, p Backoff) (service.JobStatus, RetryStats, error) {
+	base := p.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
 	}
+	maxWait := p.Max
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	r := rng.New(p.Seed)
+	d := base
+	var stats RetryStats
+	for {
+		stats.Attempts++
+		st, err := c.Submit(ctx, spec)
+		var be *BusyError
+		if err == nil || !errors.As(err, &be) || stats.Attempts > p.MaxRetries {
+			return st, stats, err
+		}
+		wait := d/2 + time.Duration(r.Float64()*float64(d/2))
+		if be.RetryAfter > wait {
+			wait = be.RetryAfter
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		stats.Retries++
+		select {
+		case <-ctx.Done():
+			return st, stats, ctx.Err()
+		case <-time.After(wait):
+		}
+		if d < maxWait {
+			d *= 2
+		}
+	}
+}
+
+// Cancel requests cancellation of a queued or running job via
+// DELETE /v1/jobs/{id}, returning the job's status as of the request.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	var st service.JobStatus
+	_, err = c.do(req, &st)
 	return st, err
 }
 

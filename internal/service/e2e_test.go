@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -249,7 +250,7 @@ func TestE2EBackpressure(t *testing.T) {
 			switch {
 			case err == nil:
 				results <- result{id: st.ID}
-			case err == client.ErrBusy:
+			case errors.Is(err, client.ErrBusy):
 				results <- result{busy: true}
 			default:
 				results <- result{err: err}

@@ -8,13 +8,17 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs       submit a JobSpec; 202 with the queued JobStatus,
-//	                    429 on queue overflow, 400 on a bad spec,
-//	                    503 while draining
-//	GET  /v1/jobs       list all jobs (no trajectories)
-//	GET  /v1/jobs/{id}  one job's full status including trajectory
-//	GET  /metrics       Prometheus text exposition
-//	GET  /healthz       200 {"status":"ok"} / 503 {"status":"draining"}
+//	POST   /v1/jobs      submit a JobSpec; 202 with the queued JobStatus,
+//	                     429 on queue overflow, 400 on a bad spec,
+//	                     503 while draining
+//	GET    /v1/jobs      list all jobs (no trajectories)
+//	GET    /v1/jobs/{id} one job's full status including trajectory
+//	DELETE /v1/jobs/{id} cancel a queued or running job; 200 with its
+//	                     status, 404 unknown, 409 already terminal
+//	GET    /metrics      Prometheus text exposition
+//	GET    /healthz      200 {"status":"ok",...} with queue depth,
+//	                     in-flight jobs, and poisoned-task count /
+//	                     503 {"status":"draining"}
 //
 // pprof is not mounted here; cmd/specd adds it opt-in.
 func (s *Service) Handler() http.Handler {
@@ -22,6 +26,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -82,20 +87,47 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrNoJob):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+	case errors.Is(err, ErrJobTerminal):
+		writeJSON(w, http.StatusConflict, st)
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.WriteMetrics(w)
 }
 
+// healthBody is the /healthz payload. Queue depth, in-flight jobs, and
+// poisoned-task count let load balancers shed before the 429 cliff.
+type healthBody struct {
+	Status        string  `json:"status"`
+	Uptime        float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	InflightJobs  int64   `json:"inflight_jobs"`
+	PoisonedTasks int64   `json:"poisoned_tasks"`
+}
+
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body := healthBody{
+		Status:        "ok",
+		Uptime:        s.Uptime().Seconds(),
+		QueueDepth:    s.QueueDepth(),
+		InflightJobs:  s.Running(),
+		PoisonedTasks: s.PoisonedTotal(),
+	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, struct {
-			Status string `json:"status"`
-		}{Status: "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status string  `json:"status"`
-		Uptime float64 `json:"uptime_seconds"`
-	}{Status: "ok", Uptime: s.Uptime().Seconds()})
+	writeJSON(w, http.StatusOK, body)
 }

@@ -18,13 +18,15 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	jobs := s.Jobs()
 
 	byState := make(map[State]int, len(States()))
-	var rounds, launched, committed, aborted int64
+	var rounds, launched, committed, aborted, failed, poisoned int64
 	for _, j := range jobs {
 		byState[j.State]++
 		rounds += int64(j.Rounds)
 		launched += j.Launched
 		committed += j.Committed
 		aborted += j.Aborted
+		failed += j.Failed
+		poisoned += j.Poisoned
 	}
 
 	var b strings.Builder
@@ -60,6 +62,12 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(&b, "specd_commits_total %d\n", committed)
 	header("specd_aborts_total", "Aborted task attempts across all jobs.", "counter")
 	fmt.Fprintf(&b, "specd_aborts_total %d\n", aborted)
+	header("specd_task_failures_total", "Panicked or errored task attempts across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_task_failures_total %d\n", failed)
+	header("specd_poisoned_tasks_total", "Tasks quarantined after exhausting their retry budget.", "counter")
+	fmt.Fprintf(&b, "specd_poisoned_tasks_total %d\n", poisoned)
+	header("specd_inflight_jobs", "Jobs currently executing rounds.", "gauge")
+	fmt.Fprintf(&b, "specd_inflight_jobs %d\n", s.Running())
 
 	header("specd_job_conflict_ratio", "Per-job cumulative conflict ratio (aborts/launches).", "gauge")
 	for _, j := range jobs {

@@ -29,6 +29,10 @@ var (
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrDraining signals the service no longer accepts jobs (HTTP 503).
 	ErrDraining = errors.New("service: shutting down")
+	// ErrNoJob signals an unknown job id (HTTP 404).
+	ErrNoJob = errors.New("service: no such job")
+	// ErrJobTerminal signals a cancel of an already-finished job (HTTP 409).
+	ErrJobTerminal = errors.New("service: job already terminal")
 )
 
 // SpecError marks an invalid job specification (HTTP 400).
@@ -48,7 +52,15 @@ const (
 	StateRunning  State = "running"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
-	StateCanceled State = "canceled" // interrupted by shutdown
+	StateCanceled State = "canceled" // user cancel, shutdown, or deadline; see JobStatus.Reason
+)
+
+// Reason values distinguishing why a job ended the way it did.
+const (
+	ReasonUserCancel = "canceled by user"
+	ReasonShutdown   = "shutdown"
+	ReasonDeadline   = "deadline"
+	ReasonDegraded   = "degraded" // done, but some tasks were quarantined
 )
 
 // States lists every job state (metrics export them all, including
@@ -61,16 +73,19 @@ func States() []State {
 // Zero values take server defaults; Parallel = -1 selects the
 // model-faithful one-goroutine-per-task executor mode.
 type JobSpec struct {
-	Workload   string  `json:"workload"`
-	Controller string  `json:"controller"`
-	Rho        float64 `json:"rho,omitempty"`       // target conflict ratio (default 0.25)
-	M0         int     `json:"m0,omitempty"`        // initial m (default 2)
-	FixedM     int     `json:"m,omitempty"`         // processor count for "fixed"
-	Size       int     `json:"size,omitempty"`      // workload size (default 1000)
-	Seed       uint64  `json:"seed,omitempty"`      // PRNG seed (default 1)
-	Parallel   int     `json:"parallel,omitempty"`  // worker-pool size; 0 = server default, -1 = model-faithful
-	Degree     float64 `json:"degree,omitempty"`    // avg degree for "cc" (default 16)
-	MaxRounds  int     `json:"max_rounds,omitempty"` // round cap (default server cap)
+	Workload    string     `json:"workload"`
+	Controller  string     `json:"controller"`
+	Rho         float64    `json:"rho,omitempty"`          // target conflict ratio (default 0.25)
+	M0          int        `json:"m0,omitempty"`           // initial m (default 2)
+	FixedM      int        `json:"m,omitempty"`            // processor count for "fixed"
+	Size        int        `json:"size,omitempty"`         // workload size (default 1000)
+	Seed        uint64     `json:"seed,omitempty"`         // PRNG seed (default 1)
+	Parallel    int        `json:"parallel,omitempty"`     // worker-pool size; 0 = server default, -1 = model-faithful
+	Degree      float64    `json:"degree,omitempty"`       // avg degree for "cc" (default 16)
+	MaxRounds   int        `json:"max_rounds,omitempty"`   // round cap (default server cap)
+	MaxDuration Duration   `json:"max_duration,omitempty"` // wall-clock deadline, checked between rounds (0 = none)
+	TaskRetries int        `json:"task_retries,omitempty"` // retry budget for failed tasks; 0 = server default, -1 = none
+	Fault       *FaultSpec `json:"fault,omitempty"`        // deterministic fault injection ("cc"/"spin" only)
 }
 
 // RoundPoint is one recorded round of a job's trajectory.
@@ -80,6 +95,8 @@ type RoundPoint struct {
 	Launched  int     `json:"launched"`
 	Committed int     `json:"committed"`
 	Aborted   int     `json:"aborted"`
+	Failed    int     `json:"failed,omitempty"`   // panicked / errored attempts
+	Poisoned  int     `json:"poisoned,omitempty"` // retry budgets exhausted this round
 	R         float64 `json:"r"` // conflict ratio observed this round
 }
 
@@ -99,6 +116,8 @@ type JobStatus struct {
 	Launched          int64   `json:"launched"`
 	Committed         int64   `json:"committed"`
 	Aborted           int64   `json:"aborted"`
+	Failed            int64   `json:"failed,omitempty"`   // panicked / errored task attempts
+	Poisoned          int64   `json:"poisoned,omitempty"` // tasks quarantined after exhausting retries
 	ConflictRatio     float64 `json:"conflict_ratio"`      // cumulative aborts/launches
 	MeanConflictRatio float64 `json:"mean_conflict_ratio"` // r̄: unweighted per-round mean
 
@@ -106,6 +125,10 @@ type JobStatus struct {
 	Trajectory         []RoundPoint   `json:"trajectory,omitempty"`
 	Result             string         `json:"result,omitempty"`
 	Error              string         `json:"error,omitempty"`
+	// Reason qualifies terminal states: user cancel vs shutdown vs
+	// deadline for StateCanceled, "degraded" for a done job that
+	// quarantined tasks.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Terminal reports whether the status is final.
@@ -118,6 +141,22 @@ type job struct {
 	mu     sync.Mutex
 	status JobStatus
 	hist   ring
+
+	// cancelCh is closed (once) to ask a running job to stop at its
+	// next round barrier; cancelReason is set under mu beforehand.
+	cancelCh     chan struct{}
+	cancelOnce   sync.Once
+	cancelReason string
+}
+
+// requestCancel asks a running job to stop at the next round barrier.
+func (j *job) requestCancel(reason string) {
+	j.cancelOnce.Do(func() {
+		j.mu.Lock()
+		j.cancelReason = reason
+		j.mu.Unlock()
+		close(j.cancelCh)
+	})
 }
 
 // ring is a fixed-capacity round-history buffer keeping the last cap
@@ -159,6 +198,8 @@ func (j *job) record(p RoundPoint, pending int, rSum *float64, counters map[stri
 	st.Launched += int64(p.Launched)
 	st.Committed += int64(p.Committed)
 	st.Aborted += int64(p.Aborted)
+	st.Failed += int64(p.Failed)
+	st.Poisoned += int64(p.Poisoned)
 	if st.Launched > 0 {
 		st.ConflictRatio = float64(st.Aborted) / float64(st.Launched)
 	}
@@ -201,12 +242,13 @@ func (j *job) setState(s State) {
 
 // Config tunes the service. Zero values take the documented defaults.
 type Config struct {
-	QueueCap        int // bounded queue capacity (default 64)
-	Workers         int // concurrent job runners (default 2)
-	HistoryCap      int // per-job trajectory ring size (default 256)
-	DefaultParallel int // executor pool size when spec.Parallel == 0 (default 2)
-	MaxRounds       int // hard per-job round cap (default 1<<30)
-	MaxSize         int // largest accepted spec.Size (default 1_000_000)
+	QueueCap           int // bounded queue capacity (default 64)
+	Workers            int // concurrent job runners (default 2)
+	HistoryCap         int // per-job trajectory ring size (default 256)
+	DefaultParallel    int // executor pool size when spec.Parallel == 0 (default 2)
+	MaxRounds          int // hard per-job round cap (default 1<<30)
+	MaxSize            int // largest accepted spec.Size (default 1_000_000)
+	DefaultTaskRetries int // retry budget when spec.TaskRetries == 0 (0 = executor default)
 
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
@@ -254,6 +296,7 @@ type Service struct {
 	nextID    atomic.Int64
 	submitted atomic.Int64
 	rejected  atomic.Int64
+	running   atomic.Int64 // jobs currently executing rounds
 }
 
 // New starts a service with cfg.Workers runner goroutines.
@@ -311,8 +354,28 @@ func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
 	if spec.Degree < 0 {
 		return spec, specErrf("degree %v negative", spec.Degree)
 	}
+	if spec.Workload == "spin" && spec.MaxDuration <= 0 && spec.MaxRounds <= 0 {
+		return spec, specErrf("workload \"spin\" never drains: set max_duration or max_rounds")
+	}
 	if spec.MaxRounds <= 0 || spec.MaxRounds > s.cfg.MaxRounds {
 		spec.MaxRounds = s.cfg.MaxRounds
+	}
+	if spec.MaxDuration < 0 {
+		return spec, specErrf("max_duration %v negative", time.Duration(spec.MaxDuration))
+	}
+	if spec.TaskRetries == 0 {
+		spec.TaskRetries = s.cfg.DefaultTaskRetries
+	}
+	if spec.TaskRetries < -1 || spec.TaskRetries > 1000 {
+		return spec, specErrf("task_retries %d out of [-1,1000]", spec.TaskRetries)
+	}
+	if spec.Fault != nil {
+		if !workload.SupportsFault(spec.Workload) {
+			return spec, specErrf("workload %q does not support fault injection (only cc, spin)", spec.Workload)
+		}
+		if err := spec.Fault.config(spec.Seed).Validate(); err != nil {
+			return spec, specErrf("bad fault spec: %v", err)
+		}
 	}
 	return spec, nil
 }
@@ -334,7 +397,8 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 			Spec:        spec,
 			SubmittedAt: time.Now(),
 		},
-		hist: ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
+		hist:     ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
+		cancelCh: make(chan struct{}),
 	}
 	// Reserve the queue slot first: admission control must reject before
 	// the job becomes externally visible.
@@ -379,8 +443,53 @@ func (s *Service) Jobs() []JobStatus {
 	return out
 }
 
+// Cancel requests cancellation of the given job. A queued job is
+// canceled immediately; a running job is asked to stop at its next
+// round barrier (Cancel returns without waiting for it). Canceling a
+// terminal job returns its status and ErrJobTerminal; an unknown id
+// returns ErrNoJob.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNoJob
+	}
+	j.mu.Lock()
+	switch j.status.State {
+	case StateQueued:
+		j.status.State = StateCanceled
+		j.status.Reason = ReasonUserCancel
+		j.status.Error = "canceled before start"
+		now := time.Now()
+		j.status.FinishedAt = &now
+		j.mu.Unlock()
+		s.cfg.Logf("specd: job %s canceled while queued", id)
+	case StateRunning:
+		j.mu.Unlock()
+		j.requestCancel(ReasonUserCancel)
+		s.cfg.Logf("specd: job %s cancel requested (stopping at next round barrier)", id)
+	default:
+		j.mu.Unlock()
+		return j.snapshot(false), ErrJobTerminal
+	}
+	return j.snapshot(false), nil
+}
+
 // QueueDepth returns the number of jobs waiting for a worker.
 func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Running returns the number of jobs currently executing rounds.
+func (s *Service) Running() int64 { return s.running.Load() }
+
+// PoisonedTotal sums quarantined tasks across all jobs.
+func (s *Service) PoisonedTotal() int64 {
+	var n int64
+	for _, j := range s.Jobs() {
+		n += j.Poisoned
+	}
+	return n
+}
 
 // Draining reports whether Shutdown has begun.
 func (s *Service) Draining() bool { return s.draining.Load() }
@@ -425,13 +534,29 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one job to completion or interruption. The shutdown
-// check sits between rounds only, so an in-flight round always finishes
-// before the worker exits — the invariant the SIGTERM e2e asserts.
+// runJob executes one job to completion or interruption. Shutdown,
+// cancellation, and deadline checks sit between rounds only, so an
+// in-flight round always finishes before the worker moves on — the
+// invariant the SIGTERM e2e asserts and the round-barrier semantics
+// DELETE /v1/jobs/{id} documents.
 func (s *Service) runJob(j *job) {
 	spec := j.snapshot(false).Spec
 	id := j.status.ID // immutable after creation
-	j.setState(StateRunning)
+
+	// Claim: a job canceled while queued may still be sitting in the
+	// queue channel; skip it instead of resurrecting it.
+	j.mu.Lock()
+	if j.status.State != StateQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = StateRunning
+	now := time.Now()
+	j.status.StartedAt = &now
+	j.mu.Unlock()
+
+	s.running.Add(1)
+	defer s.running.Add(-1)
 	s.cfg.Logf("specd: job %s started: workload=%s controller=%s size=%d seed=%d",
 		id, spec.Workload, spec.Controller, spec.Size, spec.Seed)
 
@@ -444,6 +569,7 @@ func (s *Service) runJob(j *job) {
 	}
 	run, err := workload.New(spec.Workload, workload.Params{
 		Size: spec.Size, Seed: spec.Seed, Parallel: spec.Parallel, Degree: spec.Degree,
+		TaskRetries: spec.TaskRetries, Fault: spec.Fault.config(spec.Seed),
 	})
 	if err != nil {
 		s.failJob(j, id, err)
@@ -451,28 +577,69 @@ func (s *Service) runJob(j *job) {
 	}
 	defer run.Stepper.Close()
 
+	// The round context carries the wall-clock deadline and is canceled
+	// by shutdown or a user cancel, so Steppers that observe ctx stop
+	// promptly; the watcher goroutine exits with the job.
+	var deadline time.Time
+	ctx := context.Background()
+	var cancelCtx context.CancelFunc
+	if spec.MaxDuration > 0 {
+		deadline = now.Add(time.Duration(spec.MaxDuration))
+		ctx, cancelCtx = context.WithDeadline(ctx, deadline)
+	} else {
+		ctx, cancelCtx = context.WithCancel(ctx)
+	}
+	defer cancelCtx()
+	jobDone := make(chan struct{})
+	defer close(jobDone)
+	go func() {
+		select {
+		case <-s.stop:
+		case <-j.cancelCh:
+		case <-jobDone:
+		case <-ctx.Done():
+		}
+		cancelCtx()
+	}()
+
+	cancelJob := func(reason, errMsg string) {
+		j.mu.Lock()
+		j.status.State = StateCanceled
+		j.status.Reason = reason
+		j.status.Error = errMsg
+		fin := time.Now()
+		j.status.FinishedAt = &fin
+		j.mu.Unlock()
+	}
+
 	telemetry, _ := ctrl.(control.Telemetry)
 	rSum := 0.0
 	round := 0
 	for ; round < spec.MaxRounds && run.Stepper.Pending() > 0; round++ {
 		select {
-		case <-s.stop:
+		case <-j.cancelCh:
 			j.mu.Lock()
-			j.status.State = StateCanceled
-			j.status.Error = fmt.Sprintf("interrupted by shutdown after round %d", round)
-			now := time.Now()
-			j.status.FinishedAt = &now
+			reason := j.cancelReason
 			j.mu.Unlock()
+			cancelJob(reason, fmt.Sprintf("canceled after round %d", round))
+			s.cfg.Logf("specd: job %s canceled after round %d (in-flight round completed)", id, round)
+			return
+		case <-s.stop:
+			cancelJob(ReasonShutdown, fmt.Sprintf("interrupted by shutdown after round %d", round))
 			s.cfg.Logf("specd: job %s interrupted after round %d (in-flight round completed)", id, round)
 			return
 		default:
 		}
-		m := ctrl.M()
-		launched, committed, aborted := run.Stepper.Round(m)
-		r := 0.0
-		if launched > 0 {
-			r = float64(aborted) / float64(launched)
+		if spec.MaxDuration > 0 && !time.Now().Before(deadline) {
+			cancelJob(ReasonDeadline, fmt.Sprintf("deadline %v exceeded after round %d",
+				time.Duration(spec.MaxDuration), round))
+			s.cfg.Logf("specd: job %s hit its %v deadline after round %d",
+				id, time.Duration(spec.MaxDuration), round)
+			return
 		}
+		m := ctrl.M()
+		rr := run.Stepper.Round(ctx, m)
+		r := rr.ConflictRatio()
 		ctrl.Observe(r)
 		var counters map[string]int
 		if telemetry != nil {
@@ -480,13 +647,28 @@ func (s *Service) runJob(j *job) {
 		}
 		j.record(RoundPoint{
 			Round: round, M: m,
-			Launched: launched, Committed: committed, Aborted: aborted, R: r,
+			Launched: rr.Launched, Committed: rr.Committed, Aborted: rr.Aborted,
+			Failed: rr.Failed, Poisoned: rr.Poisoned, R: r,
 		}, run.Stepper.Pending(), &rSum, counters)
 	}
 
 	if run.Stepper.Pending() > 0 {
 		s.failJob(j, id, fmt.Errorf("round cap %d reached with %d tasks pending",
 			spec.MaxRounds, run.Stepper.Pending()))
+		return
+	}
+	snap := run.Stepper.Snapshot()
+	if snap.Poisoned > 0 {
+		// Degraded completion: the healthy tasks drained, the poisoned
+		// ones are quarantined. Verification would report the holes the
+		// quarantined tasks left, so record the degradation instead.
+		j.mu.Lock()
+		j.status.Result = fmt.Sprintf("degraded: %d tasks quarantined after exhausting retry budget (%d failures)",
+			snap.Poisoned, snap.Failed)
+		j.status.Reason = ReasonDegraded
+		j.mu.Unlock()
+		j.setState(StateDone)
+		s.cfg.Logf("specd: job %s done (degraded) after %d rounds: %d poisoned", id, round, snap.Poisoned)
 		return
 	}
 	detail, err := run.Verify()

@@ -1,0 +1,243 @@
+package speculation
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPanicIsolationRollsBack proves a panicking task is a failure, not
+// a crash: its undo log runs, its locks are released the same round, and
+// neighbors can commit.
+func TestPanicIsolationRollsBack(t *testing.T) {
+	for _, par := range []int{0, 4} {
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			e := NewExecutor(nil)
+			e.MaxParallel = par
+			defer e.Close()
+
+			it := NewItem(1)
+			var undone atomic.Int64
+			e.Add(TaskFunc(func(ctx *Ctx) error {
+				if err := ctx.Acquire(it); err != nil {
+					return err
+				}
+				ctx.LogUndo(func() { undone.Add(1) })
+				panic("operator bug")
+			}))
+			st := e.Round(1)
+			if st.Failed != 1 {
+				t.Fatalf("stats %+v, want Failed=1", st)
+			}
+			if undone.Load() != 1 {
+				t.Fatalf("undo ran %d times, want 1", undone.Load())
+			}
+			if it.Owner() != noOwner {
+				t.Fatalf("item still owned by %d after panic", it.Owner())
+			}
+			// A clean task can immediately take the lock the panicker held.
+			e.Add(TaskFunc(func(ctx *Ctx) error { return ctx.Acquire(it) }))
+			if st := e.Round(2); st.Committed != 1 {
+				t.Fatalf("follow-up round %+v, want one commit", st)
+			}
+		})
+	}
+}
+
+// TestRetryBudgetRecovery: a task that fails transiently (fewer times
+// than the budget) must eventually commit, and its failure record must
+// be forgotten (no poisoning).
+func TestRetryBudgetRecovery(t *testing.T) {
+	e := NewExecutor(nil)
+	e.TaskRetries = 3
+	var attempts atomic.Int64
+	e.Add(TaskFunc(func(ctx *Ctx) error {
+		if attempts.Add(1) <= 2 {
+			return errors.New("transient")
+		}
+		return nil
+	}))
+	for e.Pending() > 0 {
+		e.Round(1)
+	}
+	if e.TotalCommitted() != 1 || e.TotalPoisoned() != 0 {
+		t.Fatalf("committed=%d poisoned=%d, want 1/0",
+			e.TotalCommitted(), e.TotalPoisoned())
+	}
+	if e.TotalFailed() != 2 {
+		t.Fatalf("TotalFailed = %d, want 2", e.TotalFailed())
+	}
+	if len(e.failures) != 0 {
+		t.Fatalf("failure map not cleaned after recovery: %v", e.failures)
+	}
+}
+
+// TestNoRetriesPoisonsImmediately: TaskRetries < 0 disables retries.
+func TestNoRetriesPoisonsImmediately(t *testing.T) {
+	e := NewExecutor(nil)
+	e.TaskRetries = -1
+	e.Add(TaskFunc(func(ctx *Ctx) error { panic("boom") }))
+	st := e.Round(1)
+	if st.Failed != 1 || st.Poisoned != 1 {
+		t.Fatalf("stats %+v, want Failed=1 Poisoned=1", st)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("poisoned task still pending")
+	}
+	var pe *PanicError
+	recs := e.PoisonedTasks()
+	if len(recs) != 1 {
+		t.Fatalf("records %+v", recs)
+	}
+	// The record's message carries the panic value.
+	if want := "boom"; !contains(recs[0].Err, want) {
+		t.Fatalf("record err %q missing %q", recs[0].Err, want)
+	}
+	_ = pe
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFailuresExcludedFromConflictRatio: the controller signal must not
+// be polluted by injected failures.
+func TestFailuresExcludedFromConflictRatio(t *testing.T) {
+	st := RoundStats{Launched: 10, Committed: 5, Aborted: 2, Failed: 3}
+	if got := st.ConflictRatio(); got != 0.2 {
+		t.Fatalf("ConflictRatio = %v, want 0.2 (failures excluded)", got)
+	}
+	ost := OrderedRoundStats{Launched: 10, Committed: 5, Conflicts: 2, Failed: 3}
+	if got := ost.ConflictRatio(); got != 0.2 {
+		t.Fatalf("ordered ConflictRatio = %v, want 0.2", got)
+	}
+}
+
+// TestSnapshotBalancesWithFailures: Launched = Committed + Aborted +
+// Failed, and Poisoned counts the quarantine.
+func TestSnapshotBalancesWithFailures(t *testing.T) {
+	e := NewExecutor(nil)
+	e.TaskRetries = 1
+	for i := 0; i < 8; i++ {
+		e.Add(TaskFunc(func(ctx *Ctx) error { return nil }))
+	}
+	e.Add(TaskFunc(func(ctx *Ctx) error { return errors.New("always fails") }))
+	for e.Pending() > 0 {
+		e.Round(4)
+	}
+	s := e.Snapshot()
+	if s.Launched != s.Committed+s.Aborted+s.Failed {
+		t.Fatalf("unbalanced snapshot %+v", s)
+	}
+	if s.Poisoned != 1 || s.Failed != 2 { // 1 initial failure + 1 retry
+		t.Fatalf("snapshot %+v, want Poisoned=1 Failed=2", s)
+	}
+}
+
+// orderedFailTask is an ordered task failing its first n attempts.
+type orderedFailTask struct {
+	key      Key
+	failures int
+	attempts atomic.Int64
+	mode     string // "panic" or "error"
+	claims   []*Item
+}
+
+func (t *orderedFailTask) Key() Key { return t.key }
+func (t *orderedFailTask) Run(ctx *OrderedCtx) error {
+	ctx.Claim(t.claims...)
+	if t.attempts.Add(1) <= int64(t.failures) {
+		if t.mode == "panic" {
+			panic(fmt.Sprintf("ordered boom at %v", t.key))
+		}
+		return errors.New("ordered transient")
+	}
+	return nil
+}
+
+// TestOrderedFailureFlow: the ordered executor shares the unordered
+// taxonomy — panics retry on budget, commit prefix stays safe, and
+// exhausted tasks are quarantined instead of panicking the executor.
+func TestOrderedFailureFlow(t *testing.T) {
+	e := NewOrderedExecutor()
+	e.TaskRetries = 2
+	defer e.Close()
+
+	it := NewItem(7)
+	flaky := &orderedFailTask{key: Key{Time: 1}, failures: 2, mode: "panic", claims: []*Item{it}}
+	clean := &orderedFailTask{key: Key{Time: 2}}
+	e.Add(flaky)
+	e.Add(clean)
+
+	// Round 1: flaky fails, prefix stops → clean is premature-requeued.
+	st := e.Round(2)
+	if st.Failed != 1 || st.Committed != 0 || st.Premature != 1 {
+		t.Fatalf("round 1 stats %+v", st)
+	}
+	for e.Pending() > 0 {
+		e.Round(2)
+	}
+	if e.TotalCommitted() != 2 {
+		t.Fatalf("committed %d, want 2 (flaky recovered)", e.TotalCommitted())
+	}
+	if e.TotalPoisoned() != 0 {
+		t.Fatalf("poisoned %d, want 0", e.TotalPoisoned())
+	}
+	if e.TotalFailed() != 2 {
+		t.Fatalf("failed %d, want 2", e.TotalFailed())
+	}
+}
+
+// TestOrderedPoisoning: a task that always fails exhausts the budget
+// and is dropped from the heap, letting the rest of the workload drain.
+func TestOrderedPoisoning(t *testing.T) {
+	e := NewOrderedExecutor()
+	e.TaskRetries = 1
+	defer e.Close()
+
+	bad := &orderedFailTask{key: Key{Time: 1}, failures: 1 << 30, mode: "error"}
+	good := &orderedFailTask{key: Key{Time: 2}}
+	e.Add(bad)
+	e.Add(good)
+	for i := 0; i < 20 && e.Pending() > 0; i++ {
+		e.Round(2)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("heap not drained: %d pending", e.Pending())
+	}
+	if e.TotalCommitted() != 1 || e.TotalPoisoned() != 1 {
+		t.Fatalf("committed=%d poisoned=%d, want 1/1",
+			e.TotalCommitted(), e.TotalPoisoned())
+	}
+	recs := e.PoisonedTasks()
+	if len(recs) != 1 || recs[0].Handle != -1 || recs[0].Attempts != 2 {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+// TestWrapTaskInterceptsAddsAndSpawns: the injection hook sees every
+// task entering the work-set, including commit-time spawns.
+func TestWrapTaskInterceptsAddsAndSpawns(t *testing.T) {
+	e := NewExecutor(nil)
+	var wrapped atomic.Int64
+	e.WrapTask = func(t Task) Task {
+		wrapped.Add(1)
+		return t
+	}
+	e.Add(TaskFunc(func(ctx *Ctx) error {
+		ctx.Spawn(TaskFunc(func(*Ctx) error { return nil }))
+		return nil
+	}))
+	for e.Pending() > 0 {
+		e.Round(1)
+	}
+	if wrapped.Load() != 2 {
+		t.Fatalf("wrapper saw %d tasks, want 2 (add + spawn)", wrapped.Load())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -53,9 +54,31 @@ type OrderedTask interface {
 	Key() Key
 	// Run executes the read/claim phase. It must not mutate shared
 	// state: reads are unsynchronized against other phase-1 tasks, so
-	// all writes belong in ctx.OnCommit. A non-nil error is a
-	// programming error and panics the executor.
+	// all writes belong in ctx.OnCommit. A non-nil error (or a panic)
+	// is a task failure: the attempt is discarded and the task is
+	// retried up to the executor's TaskRetries budget, then poisoned —
+	// the same failure taxonomy as the unordered executor.
 	Run(ctx *OrderedCtx) error
+}
+
+// runGuardedOrdered executes one phase-1 attempt with panic isolation,
+// mirroring runGuarded for the unordered executor.
+func runGuardedOrdered(t OrderedTask, ctx *OrderedCtx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return t.Run(ctx)
+}
+
+// retryTask wraps a failed ordered task with its failure count so the
+// budget survives requeueing through the heap. It delegates Key and Run
+// to the wrapped task, so phase-1 execution and commit ordering are
+// unchanged.
+type retryTask struct {
+	OrderedTask
+	fails int
 }
 
 // OrderedCtx is the phase-1 context handed to ordered tasks.
@@ -94,13 +117,18 @@ type OrderedRoundStats struct {
 	Committed int
 	Conflicts int // aborted: lost an item to an earlier task
 	Premature int // aborted: ran ahead of newly spawned earlier work
+	Failed    int // panics / non-conflict errors, retried on budget
+	Poisoned  int // failures that exhausted the retry budget this round
 	Spawned   int
 }
 
-// Aborted returns total wasted executions of the round.
+// Aborted returns total wasted speculative executions of the round
+// (conflicts + premature; failures are counted separately, matching the
+// unordered executor's taxonomy).
 func (s OrderedRoundStats) Aborted() int { return s.Conflicts + s.Premature }
 
 // ConflictRatio returns wasted/launched — the r_t fed to controllers.
+// Failures are excluded, as in RoundStats.ConflictRatio.
 func (s OrderedRoundStats) ConflictRatio() float64 {
 	if s.Launched == 0 {
 		return 0
@@ -135,12 +163,26 @@ type OrderedExecutor struct {
 	// per task, the model-faithful mode).
 	MaxParallel int
 
+	// TaskRetries is the per-task failure budget, with the same
+	// semantics as Executor.TaskRetries (0 = DefaultTaskRetries,
+	// negative = no retries).
+	TaskRetries int
+
+	// WrapTask, when non-nil, intercepts every task entering the heap
+	// (Add and committed spawns) — the fault-injection hook.
+	WrapTask func(OrderedTask) OrderedTask
+
 	pool *workerPool
 
 	totalLaunched  atomic.Int64
 	totalCommitted atomic.Int64
 	totalConflicts atomic.Int64
 	totalPremature atomic.Int64
+	totalFailed    atomic.Int64
+	totalPoisoned  atomic.Int64
+
+	poisonMu sync.Mutex
+	poisoned []FailureRecord
 }
 
 // NewOrderedExecutor returns an empty ordered executor.
@@ -166,6 +208,8 @@ func (e *OrderedExecutor) Snapshot() Snapshot {
 		Launched:  e.totalLaunched.Load(),
 		Committed: e.totalCommitted.Load(),
 		Aborted:   e.totalConflicts.Load() + e.totalPremature.Load(),
+		Failed:    e.totalFailed.Load(),
+		Poisoned:  e.totalPoisoned.Load(),
 	}
 }
 
@@ -183,8 +227,37 @@ func (e *OrderedExecutor) TotalConflicts() int64 { return e.totalConflicts.Load(
 // (tasks that ran ahead of newly spawned earlier work).
 func (e *OrderedExecutor) TotalPremature() int64 { return e.totalPremature.Load() }
 
+// TotalFailed returns the cumulative number of failed attempts.
+func (e *OrderedExecutor) TotalFailed() int64 { return e.totalFailed.Load() }
+
+// TotalPoisoned returns the number of quarantined tasks.
+func (e *OrderedExecutor) TotalPoisoned() int64 { return e.totalPoisoned.Load() }
+
+// PoisonedTasks returns a copy of the quarantine. Ordered tasks have no
+// stable handle, so Handle is -1 and Err carries the key.
+func (e *OrderedExecutor) PoisonedTasks() []FailureRecord {
+	e.poisonMu.Lock()
+	defer e.poisonMu.Unlock()
+	return append([]FailureRecord(nil), e.poisoned...)
+}
+
+// retryBudget resolves TaskRetries exactly like Executor.retryBudget.
+func (e *OrderedExecutor) retryBudget() int {
+	switch {
+	case e.TaskRetries < 0:
+		return 0
+	case e.TaskRetries == 0:
+		return DefaultTaskRetries
+	default:
+		return e.TaskRetries
+	}
+}
+
 // Add inserts a task.
 func (e *OrderedExecutor) Add(t OrderedTask) {
+	if w := e.WrapTask; w != nil {
+		t = w(t)
+	}
 	e.mu.Lock()
 	heap.Push(&e.pending, t)
 	e.mu.Unlock()
@@ -228,14 +301,15 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 	}
 
 	// Phase 1: parallel speculative execution (read + claim only),
-	// served by the persistent pool when MaxParallel > 0.
+	// served by the persistent pool when MaxParallel > 0. Panics and
+	// errors are captured per attempt, not fatal: they flow through the
+	// shared failure taxonomy in phase 2.
 	ctxs := make([]*OrderedCtx, len(batch))
+	errs := make([]error, len(batch))
 	run := func(i int) {
 		ctx := &OrderedCtx{}
-		if err := batch[i].Run(ctx); err != nil {
-			panic(fmt.Sprintf("speculation: ordered task failed: %v", err))
-		}
 		ctxs[i] = ctx
+		errs[i] = runGuardedOrdered(batch[i], ctx)
 	}
 	if e.MaxParallel > 0 {
 		if e.pool == nil || e.pool.size != e.MaxParallel {
@@ -262,6 +336,7 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 	// popping yields ascending keys, so batch is sorted by
 	// construction).
 	stats := OrderedRoundStats{Launched: len(batch)}
+	budget := e.retryBudget()
 	claimed := make(map[*Item]bool)
 	minSpawn := MaxKey
 	var requeue []OrderedTask
@@ -275,6 +350,32 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 			// the committed set must be a prefix of the batch.
 			stats.Premature++
 			requeue = append(requeue, t)
+			continue
+		}
+		if err := errs[i]; err != nil {
+			// Failure: the phase-1 attempt is discarded (ordered tasks
+			// are read-only in phase 1, so there is nothing to roll
+			// back). A retried task may spawn earlier work, so the
+			// commit prefix stops here, like a conflict.
+			stats.Failed++
+			rt, ok := t.(*retryTask)
+			if !ok {
+				rt = &retryTask{OrderedTask: t}
+			}
+			rt.fails++
+			if rt.fails > budget {
+				stats.Poisoned++
+				e.poisonMu.Lock()
+				e.poisoned = append(e.poisoned, FailureRecord{
+					Handle:   -1,
+					Attempts: rt.fails,
+					Err:      fmt.Sprintf("key=%+v: %v", t.Key(), err),
+				})
+				e.poisonMu.Unlock()
+			} else {
+				requeue = append(requeue, rt)
+			}
+			stopped = true
 			continue
 		}
 		if minSpawn.Less(t.Key()) {
@@ -317,6 +418,9 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 			if s.Key().Less(minSpawn) {
 				minSpawn = s.Key()
 			}
+			if w := e.WrapTask; w != nil {
+				s = w(s)
+			}
 			requeue = append(requeue, s)
 			stats.Spawned++
 		}
@@ -331,6 +435,8 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 	e.totalCommitted.Add(int64(stats.Committed))
 	e.totalConflicts.Add(int64(stats.Conflicts))
 	e.totalPremature.Add(int64(stats.Premature))
+	e.totalFailed.Add(int64(stats.Failed))
+	e.totalPoisoned.Add(int64(stats.Poisoned))
 	return stats
 }
 

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -37,6 +38,59 @@ import (
 // by another in-flight task. Operator code must propagate it (or wrap it)
 // so the executor can roll the task back.
 var ErrConflict = errors.New("speculation: conflict detected")
+
+// The failure taxonomy, shared by both executors: every attempt outcome
+// is exactly one of
+//
+//	commit    — Run returned nil; side effects become visible.
+//	abort     — Run returned ErrConflict (possibly wrapped); the task
+//	            lost a speculative race, is rolled back, and is requeued
+//	            unconditionally. Aborts are *expected* (the paper's
+//	            premise) and never consume the retry budget.
+//	failure   — Run panicked or returned any other error; the task is
+//	            rolled back (undo log run, locks released, Ctx scrubbed)
+//	            and retried until its budget is exhausted.
+//	poisoned  — a failure with no budget left: the task is removed from
+//	            the work-set and quarantined for inspection instead of
+//	            crashing the process.
+
+// DefaultTaskRetries is the failure budget used when TaskRetries is 0:
+// a task may fail this many times before it is poisoned.
+const DefaultTaskRetries = 3
+
+// PanicError wraps a panic recovered from operator code so it flows
+// through the normal failure path instead of killing the process.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("speculation: task panicked: %v", e.Value)
+}
+
+// FailureRecord describes a quarantined (poisoned) task.
+type FailureRecord struct {
+	// Handle is the unordered executor's task handle, or -1 for ordered
+	// tasks (which have no stable handle).
+	Handle int64
+	// Attempts is the number of failed attempts the task consumed.
+	Attempts int
+	// Err is the last failure's message.
+	Err string
+}
+
+// runGuarded executes one task attempt with panic isolation: a panic in
+// operator code is converted into a *PanicError so the executor treats
+// it as a task failure (rollback + retry budget) rather than a crash.
+func runGuarded(t Task, ctx *Ctx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return t.Run(ctx)
+}
 
 const noOwner int64 = -1
 
@@ -187,12 +241,16 @@ func (c *Ctx) release() {
 type RoundStats struct {
 	Launched  int
 	Committed int
-	Aborted   int
+	Aborted   int // conflict aborts (expected speculative losses)
+	Failed    int // panics / non-conflict errors, rolled back and retried
+	Poisoned  int // failures that exhausted the retry budget this round
 	Spawned   int // new tasks entering the work-set from committed tasks
 }
 
 // ConflictRatio returns aborts/launched for the round (0 when idle) —
-// the r_t the controller consumes.
+// the r_t the controller consumes. Failures are excluded: an injected
+// panic is not contention, and throttling m in response would starve a
+// healthy workload.
 func (s RoundStats) ConflictRatio() float64 {
 	if s.Launched == 0 {
 		return 0
@@ -392,11 +450,35 @@ type Executor struct {
 	totalLaunched  atomic.Int64
 	totalCommitted atomic.Int64
 	totalAborted   atomic.Int64
+	totalFailed    atomic.Int64
+	totalPoisoned  atomic.Int64
 
 	// MaxParallel sets the size of the persistent worker pool serving
 	// rounds; 0 means "one goroutine per task", faithfully simulating
 	// one processor per task (no pool involved).
 	MaxParallel int
+
+	// TaskRetries is the per-task failure budget: a task whose attempt
+	// panics or returns a non-conflict error is rolled back and retried
+	// up to this many times before being poisoned (quarantined). 0
+	// selects DefaultTaskRetries; a negative value disables retries
+	// (first failure poisons). Conflict aborts never consume budget.
+	TaskRetries int
+
+	// WrapTask, when non-nil, intercepts every task entering the
+	// work-set (Add and commit-time spawns) — the hook fault-injection
+	// harnesses use. Set it before the executor is shared across
+	// goroutines.
+	WrapTask func(Task) Task
+
+	// failures tracks failed-attempt counts by handle. Round is the only
+	// writer and reader, so no lock; the map stays empty (nil) until the
+	// first failure, keeping the healthy hot path untouched.
+	failures map[int64]int
+
+	// poisonMu guards poisoned, which monitors may read mid-run.
+	poisonMu sync.Mutex
+	poisoned []FailureRecord
 
 	pool *workerPool
 
@@ -489,6 +571,8 @@ type Snapshot struct {
 	Launched  int64
 	Committed int64
 	Aborted   int64
+	Failed    int64 // failed attempts (panics / non-conflict errors)
+	Poisoned  int64 // tasks quarantined after exhausting their budget
 }
 
 // ConflictRatio returns cumulative aborts/launches for the snapshot.
@@ -509,6 +593,8 @@ func (e *Executor) Snapshot() Snapshot {
 		Launched:  e.totalLaunched.Load(),
 		Committed: e.totalCommitted.Load(),
 		Aborted:   e.totalAborted.Load(),
+		Failed:    e.totalFailed.Load(),
+		Poisoned:  e.totalPoisoned.Load(),
 	}
 }
 
@@ -521,8 +607,40 @@ func (e *Executor) TotalCommitted() int64 { return e.totalCommitted.Load() }
 // TotalAborted returns the cumulative number of aborted attempts.
 func (e *Executor) TotalAborted() int64 { return e.totalAborted.Load() }
 
+// TotalFailed returns the cumulative number of failed attempts (panics
+// and non-conflict errors).
+func (e *Executor) TotalFailed() int64 { return e.totalFailed.Load() }
+
+// TotalPoisoned returns the number of tasks quarantined after
+// exhausting their retry budget.
+func (e *Executor) TotalPoisoned() int64 { return e.totalPoisoned.Load() }
+
+// PoisonedTasks returns a copy of the quarantine: one record per task
+// that exhausted its failure budget, in poisoning order. Safe to call
+// concurrently with Round.
+func (e *Executor) PoisonedTasks() []FailureRecord {
+	e.poisonMu.Lock()
+	defer e.poisonMu.Unlock()
+	return append([]FailureRecord(nil), e.poisoned...)
+}
+
+// retryBudget resolves TaskRetries to the effective failure budget.
+func (e *Executor) retryBudget() int {
+	switch {
+	case e.TaskRetries < 0:
+		return 0
+	case e.TaskRetries == 0:
+		return DefaultTaskRetries
+	default:
+		return e.TaskRetries
+	}
+}
+
 // Add inserts a task into the work-set.
 func (e *Executor) Add(t Task) {
+	if w := e.WrapTask; w != nil {
+		t = w(t)
+	}
 	id := e.nextID.Add(1) - 1
 	e.tasks.store(id, t)
 	if e.ws != nil {
@@ -617,12 +735,14 @@ func (e *Executor) Round(m int) RoundStats {
 	run := func(i int) {
 		ctx := ctxs[i]
 		ctx.id = idBase + int64(i)
-		err := tasks[i].Run(ctx)
+		err := runGuarded(tasks[i], ctx)
 		if err != nil {
 			// Roll back while still holding the locks (compensation
 			// is race-free), then release immediately: in the
 			// model, an aborted task does not block its other
-			// neighbors from committing in the same round.
+			// neighbors from committing in the same round. Failures
+			// (panics, non-conflict errors) take the same path, so a
+			// panicking task never strands locks or undo state.
 			ctx.rollback()
 			ctx.release()
 		}
@@ -652,23 +772,50 @@ func (e *Executor) Round(m int) RoundStats {
 		}
 	}
 	stats := RoundStats{Launched: n}
+	budget := e.retryBudget()
+	wrap := e.WrapTask
 	var commitActions []func()
-	var requeue, spawnedIDs []int64
+	var requeue, spawnedIDs, poisonHandles []int64
 	e.committed = e.committed[:0]
 	for i := 0; i < n; i++ {
 		if err := errs[i]; err != nil {
-			if !errors.Is(err, ErrConflict) {
-				// Non-conflict task errors are programming errors in
-				// operator code; surface them loudly.
-				panic(fmt.Sprintf("speculation: task failed with non-conflict error: %v", err))
+			if errors.Is(err, ErrConflict) {
+				stats.Aborted++
+				requeue = append(requeue, handles[i])
+				continue
 			}
-			stats.Aborted++
-			requeue = append(requeue, handles[i])
+			// Failure (panic or non-conflict error): the attempt was
+			// already rolled back; spend retry budget or quarantine.
+			stats.Failed++
+			h := handles[i]
+			if e.failures == nil {
+				e.failures = make(map[int64]int)
+			}
+			e.failures[h]++
+			if attempts := e.failures[h]; attempts > budget {
+				stats.Poisoned++
+				delete(e.failures, h)
+				poisonHandles = append(poisonHandles, h)
+				e.poisonMu.Lock()
+				e.poisoned = append(e.poisoned, FailureRecord{
+					Handle: h, Attempts: attempts, Err: err.Error(),
+				})
+				e.poisonMu.Unlock()
+				continue
+			}
+			requeue = append(requeue, h)
 			continue
 		}
 		stats.Committed++
+		if len(e.failures) != 0 {
+			// A previously failed task recovered; forget its record.
+			delete(e.failures, handles[i])
+		}
 		e.committed = append(e.committed, handles[i])
 		for _, t := range ctxs[i].spawned {
+			if wrap != nil {
+				t = wrap(t)
+			}
 			id := e.nextID.Add(1) - 1
 			e.tasks.store(id, t)
 			spawnedIDs = append(spawnedIDs, id)
@@ -677,6 +824,11 @@ func (e *Executor) Round(m int) RoundStats {
 		commitActions = append(commitActions, ctxs[i].onCommit...)
 	}
 	e.tasks.deleteBatch(e.committed, &e.buckets)
+	if len(poisonHandles) != 0 {
+		// Quarantined tasks leave the task table like commits do, but
+		// are never requeued.
+		e.tasks.deleteBatch(poisonHandles, &e.buckets)
+	}
 	// Aborted handles go back first (they are retries), then the newly
 	// spawned work — each as one batched insertion.
 	e.requeueAll(requeue)
@@ -687,6 +839,8 @@ func (e *Executor) Round(m int) RoundStats {
 	e.totalLaunched.Add(int64(stats.Launched))
 	e.totalCommitted.Add(int64(stats.Committed))
 	e.totalAborted.Add(int64(stats.Aborted))
+	e.totalFailed.Add(int64(stats.Failed))
+	e.totalPoisoned.Add(int64(stats.Poisoned))
 	for _, fn := range commitActions {
 		fn()
 	}

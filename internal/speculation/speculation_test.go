@@ -192,15 +192,31 @@ func TestReacquireHeldItemSucceeds(t *testing.T) {
 	}
 }
 
-func TestNonConflictErrorPanics(t *testing.T) {
+func TestNonConflictErrorIsFailureNotCrash(t *testing.T) {
 	e := NewExecutor(nil)
 	e.Add(TaskFunc(func(ctx *Ctx) error { return errors.New("operator bug") }))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on non-conflict task error")
-		}
-	}()
-	e.Round(1)
+	st := e.Round(1)
+	if st.Failed != 1 || st.Aborted != 0 || st.Committed != 0 {
+		t.Fatalf("stats %+v, want one failure", st)
+	}
+	// The failed task is requeued (budget permitting), not dropped.
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d after first failure, want 1 (requeued)", e.Pending())
+	}
+	// Exhaust the default budget: the task must end up quarantined.
+	for i := 0; i < DefaultTaskRetries; i++ {
+		e.Round(1)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after budget exhausted, want 0", e.Pending())
+	}
+	if got := e.TotalPoisoned(); got != 1 {
+		t.Fatalf("TotalPoisoned = %d, want 1", got)
+	}
+	recs := e.PoisonedTasks()
+	if len(recs) != 1 || recs[0].Attempts != DefaultTaskRetries+1 {
+		t.Fatalf("poison records %+v", recs)
+	}
 }
 
 func TestRoundOnEmptyExecutor(t *testing.T) {

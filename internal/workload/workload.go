@@ -14,8 +14,10 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/apps/boruvka"
 	"repro/internal/apps/cluster"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/apps/mesh"
 	"repro/internal/apps/sp"
 	"repro/internal/control"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/speculation"
@@ -42,6 +45,34 @@ type Params struct {
 	// Degree is the average degree of the synthetic "cc" workload's
 	// random graph (0 = 16). Ignored by the application workloads.
 	Degree float64
+	// TaskRetries is the executor retry budget for failed (panicked or
+	// errored) tasks: 0 means speculation.DefaultTaskRetries, negative
+	// disables retries.
+	TaskRetries int
+	// Fault, when non-nil, wires deterministic fault injection around
+	// every task. Only the synthetic workloads ("cc", "spin") support
+	// it: the application workloads add their initial tasks during
+	// construction, before an injector could intercept them.
+	Fault *faultinject.Config
+}
+
+// RoundResult is one round's outcome as reported by a Stepper.
+type RoundResult struct {
+	Launched  int
+	Committed int
+	Aborted   int // conflict aborts — the controller's signal
+	Failed    int // panics / non-conflict errors (rolled back)
+	Poisoned  int // failures that exhausted the retry budget this round
+}
+
+// ConflictRatio is aborts over launches, the paper's r. Failures are
+// excluded: an injected panic is not contention and must not throttle
+// the allocation controller.
+func (r RoundResult) ConflictRatio() float64 {
+	if r.Launched == 0 {
+		return 0
+	}
+	return float64(r.Aborted) / float64(r.Launched)
 }
 
 // Stepper is the round-level driving surface shared by the unordered
@@ -52,7 +83,10 @@ type Stepper interface {
 	// Pending returns the number of tasks awaiting execution.
 	Pending() int
 	// Round launches up to m tasks and waits for the round to finish.
-	Round(m int) (launched, committed, aborted int)
+	// A canceled ctx makes Round return a zero RoundResult without
+	// launching; an in-flight round is never interrupted (cancellation
+	// is observed at round barriers only).
+	Round(ctx context.Context, m int) RoundResult
 	// Snapshot returns pending count plus cumulative counters in one
 	// race-safe call.
 	Snapshot() speculation.Snapshot
@@ -85,25 +119,36 @@ func (r *Run) Report(w io.Writer, res *speculation.AdaptiveResult) {
 	fmt.Fprintf(w, "         %s\n", detail)
 }
 
+// ReportIncomplete writes the report for a run whose drain stopped
+// early (round cap or cancellation): the summary line is unchanged but
+// the oracle is not consulted — a truncated run is incomplete, not
+// wrong.
+func (r *Run) ReportIncomplete(w io.Writer, res *speculation.AdaptiveResult, pending int) {
+	fmt.Fprintln(w, r.summary(res))
+	fmt.Fprintf(w, "         INCOMPLETE: %d tasks still pending (round cap or cancellation); oracle not run\n", pending)
+}
+
 // Drain drives the stepper under controller c until the work-set
-// empties or maxRounds elapse — the paper's Algorithm 1 main loop,
-// identical to speculation.RunAdaptive but expressed over the Stepper
-// abstraction so ordered and unordered workloads share it.
-func Drain(s Stepper, c control.Controller, maxRounds int) *speculation.AdaptiveResult {
+// empties, maxRounds elapse, or ctx is canceled — the paper's
+// Algorithm 1 main loop, identical to speculation.RunAdaptive but
+// expressed over the Stepper abstraction so ordered and unordered
+// workloads share it. Failed attempts count as wasted work alongside
+// aborts, but only aborts feed the controller's conflict ratio.
+func Drain(ctx context.Context, s Stepper, c control.Controller, maxRounds int) *speculation.AdaptiveResult {
 	res := &speculation.AdaptiveResult{Controller: c.Name()}
 	for round := 0; round < maxRounds && s.Pending() > 0; round++ {
-		m := c.M()
-		launched, committed, aborted := s.Round(m)
-		r := 0.0
-		if launched > 0 {
-			r = float64(aborted) / float64(launched)
+		if ctx.Err() != nil {
+			break
 		}
+		m := c.M()
+		rr := s.Round(ctx, m)
+		r := rr.ConflictRatio()
 		res.M = append(res.M, m)
 		res.R = append(res.R, r)
-		res.Committed = append(res.Committed, committed)
-		res.UsefulWork += committed
-		res.WastedWork += aborted
-		res.ProcRounds += launched
+		res.Committed = append(res.Committed, rr.Committed)
+		res.UsefulWork += rr.Committed
+		res.WastedWork += rr.Aborted + rr.Failed
+		res.ProcRounds += rr.Launched
 		res.Rounds++
 		c.Observe(r)
 	}
@@ -114,9 +159,18 @@ func Drain(s Stepper, c control.Controller, maxRounds int) *speculation.Adaptive
 type execStepper struct{ e *speculation.Executor }
 
 func (s execStepper) Pending() int { return s.e.Pending() }
-func (s execStepper) Round(m int) (int, int, int) {
+func (s execStepper) Round(ctx context.Context, m int) RoundResult {
+	if ctx.Err() != nil {
+		return RoundResult{}
+	}
 	st := s.e.Round(m)
-	return st.Launched, st.Committed, st.Aborted
+	return RoundResult{
+		Launched:  st.Launched,
+		Committed: st.Committed,
+		Aborted:   st.Aborted,
+		Failed:    st.Failed,
+		Poisoned:  st.Poisoned,
+	}
 }
 func (s execStepper) Snapshot() speculation.Snapshot { return s.e.Snapshot() }
 func (s execStepper) Close()                         { s.e.Close() }
@@ -126,9 +180,18 @@ func (s execStepper) Close()                         { s.e.Close() }
 type orderedStepper struct{ e *speculation.OrderedExecutor }
 
 func (s orderedStepper) Pending() int { return s.e.Pending() }
-func (s orderedStepper) Round(m int) (int, int, int) {
+func (s orderedStepper) Round(ctx context.Context, m int) RoundResult {
+	if ctx.Err() != nil {
+		return RoundResult{}
+	}
 	st := s.e.Round(m)
-	return st.Launched, st.Committed, st.Aborted()
+	return RoundResult{
+		Launched:  st.Launched,
+		Committed: st.Committed,
+		Aborted:   st.Aborted(),
+		Failed:    st.Failed,
+		Poisoned:  st.Poisoned,
+	}
 }
 func (s orderedStepper) Snapshot() speculation.Snapshot { return s.e.Snapshot() }
 func (s orderedStepper) Close()                         { s.e.Close() }
@@ -156,7 +219,7 @@ func meanM(res *speculation.AdaptiveResult) float64 {
 // builders maps workload names to constructors, in registry order.
 var builders = []struct {
 	name  string
-	build func(Params) *Run
+	build func(Params) (*Run, error)
 }{
 	{"mesh", newMesh},
 	{"boruvka", newBoruvka},
@@ -165,6 +228,7 @@ var builders = []struct {
 	{"des", newDES},
 	{"maxflow", newMaxflow},
 	{"cc", newCC},
+	{"spin", newSpin},
 }
 
 // Names returns the registered workload names in registry order.
@@ -186,19 +250,52 @@ func Has(name string) bool {
 	return false
 }
 
+// SupportsFault reports whether the named workload can host fault
+// injection (its tasks enter the executor after WrapTask is set).
+func SupportsFault(name string) bool { return name == "cc" || name == "spin" }
+
 // New instantiates the named workload. Construction builds the full
 // input (mesh, graph, formula, …), so it can be deferred until a job
 // actually runs.
 func New(name string, p Params) (*Run, error) {
 	for _, b := range builders {
 		if b.name == name {
-			return b.build(p), nil
+			if p.Fault != nil && !SupportsFault(name) {
+				return nil, fmt.Errorf("workload: %q does not support fault injection", name)
+			}
+			return b.build(p)
 		}
 	}
 	return nil, fmt.Errorf("workload: unknown workload %q", name)
 }
 
-func newMesh(p Params) *Run {
+// applyFault wires an injector into e, clamping TransientAttempts to
+// the executor's retry budget so a transient fault can never exhaust
+// it and accidentally poison.
+func applyFault(e *speculation.Executor, cfg *faultinject.Config) error {
+	if cfg == nil {
+		return nil
+	}
+	c := *cfg
+	budget := e.TaskRetries
+	if budget == 0 {
+		budget = speculation.DefaultTaskRetries
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	if c.TransientAttempts > budget {
+		c.TransientAttempts = budget
+	}
+	in, err := faultinject.New(c)
+	if err != nil {
+		return err
+	}
+	e.WrapTask = in.WrapTask
+	return nil
+}
+
+func newMesh(p Params) (*Run, error) {
 	r := rng.New(p.Seed)
 	m := mesh.NewSquare(0, 1)
 	for i := 0; i < p.Size/10; i++ {
@@ -207,6 +304,7 @@ func newMesh(p Params) *Run {
 	q := mesh.Quality{MaxArea: 1.0 / float64(p.Size)}
 	ref := mesh.NewSpeculativeRefiner(m, q, func(n int) int { return r.Intn(n) })
 	ref.Executor().MaxParallel = p.Parallel
+	ref.Executor().TaskRetries = p.TaskRetries
 	st := execStepper{ref.Executor()}
 	return &Run{
 		Name:    "mesh",
@@ -216,14 +314,15 @@ func newMesh(p Params) *Run {
 			return fmt.Sprintf("inserted=%d triangles=%d bad-remaining=%d",
 				ref.Inserted, m.NumTriangles(), len(m.BadTriangles(q))), nil
 		},
-	}
+	}, nil
 }
 
-func newBoruvka(p Params) *Run {
+func newBoruvka(p Params) (*Run, error) {
 	r := rng.New(p.Seed)
 	g := boruvka.NewRandomConnected(r, p.Size, p.Size*3)
 	s := boruvka.NewSpeculativeMSF(g, func(n int) int { return r.Intn(n) })
 	s.Executor().MaxParallel = p.Parallel
+	s.Executor().TaskRetries = p.TaskRetries
 	st := execStepper{s.Executor()}
 	return &Run{
 		Name:    "boruvka",
@@ -237,15 +336,16 @@ func newBoruvka(p Params) *Run {
 			return fmt.Sprintf("msf-edges=%d weight=%.3f (verified against Kruskal)",
 				len(msf.Edges), msf.Weight), nil
 		},
-	}
+	}, nil
 }
 
-func newSP(p Params) *Run {
+func newSP(p Params) (*Run, error) {
 	r := rng.New(p.Seed)
 	f := sp.NewRandom3SAT(r, p.Size, int(float64(p.Size)*2.5))
 	state := sp.NewState(f, r.Split())
 	s := sp.NewSpeculativeSP(state, 1e-4, func(n int) int { return r.Intn(n) })
 	s.Executor().MaxParallel = p.Parallel
+	s.Executor().TaskRetries = p.TaskRetries
 	st := execStepper{s.Executor()}
 	return &Run{
 		Name:    "sp",
@@ -255,14 +355,15 @@ func newSP(p Params) *Run {
 			return fmt.Sprintf("clause-updates=%d final-sweep-residual=%.2g",
 				s.Updates, state.Sweep()), nil
 		},
-	}
+	}, nil
 }
 
-func newCluster(p Params) *Run {
+func newCluster(p Params) (*Run, error) {
 	r := rng.New(p.Seed)
 	cl := cluster.New(cluster.RandomPoints(r, p.Size))
 	s := cluster.NewSpeculative(cl, 1, func(n int) int { return r.Intn(n) })
 	s.Executor().MaxParallel = p.Parallel
+	s.Executor().TaskRetries = p.TaskRetries
 	st := execStepper{s.Executor()}
 	return &Run{
 		Name:    "cluster",
@@ -275,15 +376,16 @@ func newCluster(p Params) *Run {
 			return fmt.Sprintf("merges=%d clusters-left=%d (dendrogram verified)",
 				len(cl.Merges), cl.NumClusters()), nil
 		},
-	}
+	}, nil
 }
 
-func newDES(p Params) *Run {
+func newDES(p Params) (*Run, error) {
 	// Ordered workload (§5 future work): events commit chronologically.
 	means := []float64{0.2, 0.15, 0.25, 0.2, 0.1, 0.3}
 	net := des.NewTandem(p.Seed, means...)
 	sim := des.NewSpeculativeSim(net, p.Size/2, 0.05)
 	sim.Executor().MaxParallel = p.Parallel
+	sim.Executor().TaskRetries = p.TaskRetries
 	st := orderedStepper{sim.Executor()}
 	return &Run{
 		Name:    "des",
@@ -306,15 +408,16 @@ func newDES(p Params) *Run {
 			}
 			return fmt.Sprintf("served=%d makespan=%.2f (bit-identical to sequential oracle)", s1, m1), nil
 		},
-	}
+	}, nil
 }
 
-func newMaxflow(p Params) *Run {
+func newMaxflow(p Params) (*Run, error) {
 	r := rng.New(p.Seed)
 	net := maxflow.RandomNetwork(r, p.Size/2, p.Size*2, 50)
 	oracle := maxflow.EdmondsKarp(net.Clone(), 0, net.N-1)
 	s := maxflow.NewSpeculativePR(net, 0, net.N-1, func(n int) int { return r.Intn(n) })
 	s.Executor().MaxParallel = p.Parallel
+	s.Executor().TaskRetries = p.TaskRetries
 	st := execStepper{s.Executor()}
 	return &Run{
 		Name:    "maxflow",
@@ -326,15 +429,17 @@ func newMaxflow(p Params) *Run {
 			}
 			return fmt.Sprintf("max-flow=%d (verified against Edmonds-Karp)", s.FlowValue()), nil
 		},
-	}
+	}, nil
 }
 
 // newCC builds the synthetic CC-graph workload of the paper's model: one
 // task per node, adjacent tasks conflict, committed tasks leave the
 // graph — the draining workload cmd/controlsim's efficiency experiments
 // run. The construction sequence (rng, graph, executor seed split)
-// matches those experiments exactly.
-func newCC(p Params) *Run {
+// matches those experiments exactly; the executor is built inline
+// rather than via speculation.NewGraphExecutor so the fault-injection
+// hook is in place before Populate adds the node tasks.
+func newCC(p Params) (*Run, error) {
 	d := p.Degree
 	if d <= 0 {
 		d = 16
@@ -342,8 +447,20 @@ func newCC(p Params) *Run {
 	r := rng.New(p.Seed)
 	g := graph.RandomWithAvgDegree(r, p.Size, d)
 	wl := speculation.NewGraphWorkload(g)
-	e := speculation.NewGraphExecutor(wl, r.Split())
+	pick := r.Split()
+	var mu sync.Mutex
+	e := speculation.NewExecutor(func(n int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return pick.Intn(n)
+	})
 	e.MaxParallel = p.Parallel
+	e.TaskRetries = p.TaskRetries
+	if err := applyFault(e, p.Fault); err != nil {
+		e.Close()
+		return nil, err
+	}
+	wl.Populate(e)
 	st := execStepper{e}
 	return &Run{
 		Name:    "cc",
@@ -351,9 +468,48 @@ func newCC(p Params) *Run {
 		summary: stdSummary("cc", st),
 		verify: func() (string, error) {
 			if left := wl.Graph().NumNodes(); left > 0 {
+				if e.TotalPoisoned() > 0 {
+					return fmt.Sprintf("nodes-processed=%d poisoned=%d (degraded: quarantined tasks left %d nodes unprocessed)",
+						p.Size-left, e.TotalPoisoned(), left), nil
+				}
 				return "", fmt.Errorf("%d nodes unprocessed", left)
 			}
 			return fmt.Sprintf("nodes-processed=%d (graph drained)", p.Size), nil
 		},
+	}, nil
+}
+
+// newSpin builds a synthetic workload that never drains: every task
+// commits and respawns itself, keeping Pending constant forever. It
+// exists to exercise deadlines, cancellation, and watchdogs — anything
+// that must terminate a job the workload itself never will.
+func newSpin(p Params) (*Run, error) {
+	n := p.Size
+	if n <= 0 {
+		n = 1
 	}
+	e := speculation.NewExecutor(nil)
+	e.MaxParallel = p.Parallel
+	e.TaskRetries = p.TaskRetries
+	if err := applyFault(e, p.Fault); err != nil {
+		e.Close()
+		return nil, err
+	}
+	var spinTask speculation.TaskFunc
+	spinTask = func(ctx *speculation.Ctx) error {
+		ctx.Spawn(spinTask)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		e.Add(spinTask)
+	}
+	st := execStepper{e}
+	return &Run{
+		Name:    "spin",
+		Stepper: st,
+		summary: stdSummary("spin", st),
+		verify: func() (string, error) {
+			return fmt.Sprintf("spin never drains by design (pending=%d)", e.Pending()), nil
+		},
+	}, nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ var smallSize = map[string]int{
 	"des":     100,
 	"maxflow": 60,
 	"cc":      300,
+	"spin":    8, // never drains; skipped by the drain test, bounded elsewhere
 }
 
 // TestEveryWorkloadDrainsAndVerifies constructs each registered
@@ -24,6 +26,9 @@ var smallSize = map[string]int{
 func TestEveryWorkloadDrainsAndVerifies(t *testing.T) {
 	for _, name := range Names() {
 		name := name
+		if name == "spin" {
+			continue // never drains by design; covered by TestSpinNeverDrains
+		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			c, err := NewController("hybrid", ControllerParams{Rho: 0.25})
@@ -38,7 +43,7 @@ func TestEveryWorkloadDrainsAndVerifies(t *testing.T) {
 			if run.Name != name {
 				t.Errorf("Run.Name = %q, want %q", run.Name, name)
 			}
-			res := Drain(run.Stepper, c, 1<<20)
+			res := Drain(context.Background(), run.Stepper, c, 1<<20)
 			if run.Stepper.Pending() != 0 {
 				t.Fatalf("%d tasks pending after drain (%d rounds)", run.Stepper.Pending(), res.Rounds)
 			}
@@ -125,7 +130,7 @@ func TestDeterministicConstruction(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer run.Stepper.Close()
-		res := Drain(run.Stepper, c, 1<<20)
+		res := Drain(context.Background(), run.Stepper, c, 1<<20)
 		return &struct {
 			M, Committed []int
 			R            []float64

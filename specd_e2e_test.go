@@ -178,7 +178,7 @@ func TestSpecloadAgainstSpecd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("specload: %v\n%s", err, out)
 	}
-	if !strings.Contains(string(out), "4 submitted, 4 accepted, 0 rejected (429), 0 failed") {
+	if !strings.Contains(string(out), "4 submitted, 4 accepted, 0 rejected (429), 0 retried, 0 failed") {
 		t.Errorf("unexpected specload summary:\n%s", out)
 	}
 }
