@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: check vet build test race chaos bench bench-sim
+.PHONY: check vet build test race chaos crash bench bench-sim
 
 check: vet build test race
 
@@ -40,6 +40,14 @@ chaos:
 	$(GO) test -race -count=1 -timeout 120s \
 		-run 'Chaos|Cancel|Deadline|Fault|Inject|Poison|Failure' \
 		./internal/faultinject/ ./internal/service/ ./internal/workload/ ./internal/speculation/
+
+# crash runs the kill-and-recover e2e under the race detector: SIGKILL
+# specd mid-workload, tear the final journal record, restart on the
+# same -state-dir, and require every job to finish with its trajectory
+# (pre-crash rounds preserved for checkpointed jobs).
+crash:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'SpecdCrash|SpecdRestart' .
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

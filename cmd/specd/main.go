@@ -16,6 +16,14 @@
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
+// With -state-dir set the daemon is durable: every job lifecycle
+// transition is journaled to a write-ahead log in that directory
+// (fsync policy chosen by -fsync, progress checkpointed every
+// -checkpoint-rounds rounds), and a restart with the same -state-dir
+// replays it — completed jobs reappear with their trajectories, queued
+// jobs re-enqueue, and jobs that were running when the process died
+// are re-run from spec.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: admission stops,
 // running jobs finish their in-flight round and are marked canceled,
 // queued jobs stay queued, then the process exits 0.
@@ -34,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -46,20 +55,34 @@ func main() {
 	maxRounds := flag.Int("max-rounds", 0, "hard per-job round cap (0 = effectively unlimited)")
 	taskRetries := flag.Int("task-retries", 0, "default retry budget for failed tasks (0 = executor default, -1 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight rounds on shutdown")
+	stateDir := flag.String("state-dir", "", "state directory for the write-ahead journal (empty = in-memory only)")
+	fsyncPolicy := flag.String("fsync", "always", "journal fsync policy: always | interval | never")
+	checkpointRounds := flag.Int("checkpoint-rounds", 32, "journal a running job's progress every K rounds")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := log.New(os.Stdout, "", log.LstdFlags)
 
-	svc := service.New(service.Config{
+	fsync, err := journal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		logger.Fatalf("specd: %v", err)
+	}
+
+	svc, err := service.Open(service.Config{
 		QueueCap:           *queueCap,
 		Workers:            *workers,
 		HistoryCap:         *history,
 		DefaultParallel:    *parallel,
 		MaxRounds:          *maxRounds,
 		DefaultTaskRetries: *taskRetries,
+		StateDir:           *stateDir,
+		Fsync:              fsync,
+		CheckpointEvery:    *checkpointRounds,
 		Logf:               logger.Printf,
 	})
+	if err != nil {
+		logger.Fatalf("specd: %v", err)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
@@ -75,8 +98,12 @@ func main() {
 	if err != nil {
 		logger.Fatalf("specd: listen: %v", err)
 	}
+	durable := "off"
+	if *stateDir != "" {
+		durable = fmt.Sprintf("%s (fsync=%s)", *stateDir, fsync)
+	}
 	// Printed before serving so harnesses using :0 can scrape the port.
-	logger.Printf("specd: listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queueCap)
+	logger.Printf("specd: listening on %s (workers=%d queue=%d state=%s)", ln.Addr(), *workers, *queueCap, durable)
 
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)

@@ -1,0 +1,473 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return j
+}
+
+func mustReplay(t *testing.T, dir string, opts Options) *Replayed {
+	t.Helper()
+	rep, err := Replay(dir, opts)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return rep
+}
+
+func records(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"rec":%d,"pad":"%s"}`, i, strings.Repeat("x", i%37)))
+	}
+	return out
+}
+
+func assertRecords(t *testing.T, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// segFiles returns the wal segment file names in dir, sorted.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestRoundTripAllPolicies(t *testing.T) {
+	for _, pol := range []Policy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(string(pol), func(t *testing.T) {
+			dir := t.TempDir()
+			recs := records(50)
+			j := mustOpen(t, dir, Options{Fsync: pol, Interval: time.Millisecond})
+			for _, r := range recs {
+				if err := j.Append(r); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			rep := mustReplay(t, dir, Options{})
+			if rep.Snapshot != nil || rep.Torn {
+				t.Fatalf("unexpected snapshot/torn: %+v", rep)
+			}
+			assertRecords(t, rep.Records, recs)
+
+			// Reopen and append more: the old records must survive.
+			j2 := mustOpen(t, dir, Options{Fsync: pol, Interval: time.Millisecond})
+			extra := []byte(`{"rec":"extra"}`)
+			if err := j2.Append(extra); err != nil {
+				t.Fatalf("append after reopen: %v", err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			rep = mustReplay(t, dir, Options{})
+			assertRecords(t, rep.Records, append(append([][]byte{}, recs...), extra))
+		})
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: SyncAlways})
+	const writers, per = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append([]byte(fmt.Sprintf(`{"w":%d,"i":%d}`, w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := j.CurrentStats()
+	if st.Records != writers*per {
+		t.Errorf("records = %d, want %d", st.Records, writers*per)
+	}
+	// Group commit must have batched at least some fsyncs; with 320
+	// sequential fsyncs this would be flaky-proof only as <=, so just
+	// assert the invariant that every record was covered by some fsync.
+	if st.Fsyncs == 0 || st.Fsyncs > st.Records+1 {
+		t.Errorf("fsyncs = %d out of range (records %d)", st.Fsyncs, st.Records)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rep := mustReplay(t, dir, Options{})
+	if len(rep.Records) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(rep.Records), writers*per)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	recs := records(200)
+	j := mustOpen(t, dir, Options{Fsync: SyncNever, SegmentBytes: 512})
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := len(segFiles(t, dir)); n < 4 {
+		t.Fatalf("expected several segments after rotation, got %d", n)
+	}
+	assertRecords(t, mustReplay(t, dir, Options{}).Records, recs)
+}
+
+// TestTornFinalRecordTruncated simulates a crash mid-append: a partial
+// frame at the journal tail must be truncated away with a warning, the
+// earlier records kept, and a second replay must come back clean.
+func TestTornFinalRecordTruncated(t *testing.T) {
+	cases := map[string]func(valid []byte) []byte{
+		"partial header": func([]byte) []byte { return []byte{0x09, 0x00} },
+		"partial payload": func([]byte) []byte {
+			var hdr [frameHeader]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], 1000)
+			binary.LittleEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+			return append(hdr[:], []byte("only a few bytes")...)
+		},
+		"garbage length": func([]byte) []byte {
+			return []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		},
+		"crc tear on final record": func(valid []byte) []byte {
+			// A complete frame whose payload bytes were torn mid-write.
+			frame := append([]byte(nil), valid...)
+			frame[len(frame)-1] ^= 0x5a
+			return frame
+		},
+	}
+	for name, tear := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			recs := records(10)
+			j := mustOpen(t, dir, Options{Fsync: SyncNever})
+			for _, r := range recs {
+				if err := j.Append(r); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			// Build one valid frame to hand to the tear generators.
+			payload := []byte(`{"torn":true}`)
+			var valid []byte
+			var hdr [frameHeader]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+			valid = append(append(valid, hdr[:]...), payload...)
+
+			segs := segFiles(t, dir)
+			last := filepath.Join(dir, segs[len(segs)-1])
+			f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatalf("open segment: %v", err)
+			}
+			if _, err := f.Write(tear(valid)); err != nil {
+				t.Fatalf("write tear: %v", err)
+			}
+			f.Close()
+			before, _ := os.Stat(last)
+
+			var warned bool
+			rep, err := Replay(dir, Options{Logf: func(format string, args ...any) {
+				if strings.Contains(format, "torn") {
+					warned = true
+				}
+			}})
+			if err != nil {
+				t.Fatalf("replay with torn tail: %v", err)
+			}
+			if !rep.Torn || !warned {
+				t.Errorf("torn=%v warned=%v, want both true", rep.Torn, warned)
+			}
+			assertRecords(t, rep.Records, recs)
+
+			after, _ := os.Stat(last)
+			if after.Size() >= before.Size() {
+				t.Errorf("segment not truncated: %d -> %d bytes", before.Size(), after.Size())
+			}
+			// The truncated journal is healthy: replay again, no warning.
+			rep = mustReplay(t, dir, Options{})
+			if rep.Torn {
+				t.Error("second replay still reports a torn record")
+			}
+			assertRecords(t, rep.Records, recs)
+		})
+	}
+}
+
+// TestCorruptMidLogRejected flips a byte inside an early record: the
+// damage is not at the journal tail, so replay must refuse it loudly
+// rather than resurrect a history with a hole.
+func TestCorruptMidLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: SyncNever})
+	for _, r := range records(10) {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs := segFiles(t, dir)
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[frameHeader+2] ^= 0xff // inside the first record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Replay(dir, Options{}); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("replay of corrupt mid-log record: err = %v, want corrupt-record error", err)
+	}
+}
+
+// TestTornNonFinalSegmentRejected: a tear that is not in the journal's
+// last segment means later segments would replay out of context.
+func TestTornNonFinalSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: SyncNever, SegmentBytes: 256})
+	for _, r := range records(60) {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs := segFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("need >=2 segments, got %d", len(segs))
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segs[0]), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	if _, err := Replay(dir, Options{}); err == nil || !strings.Contains(err.Error(), "non-final segment") {
+		t.Fatalf("replay with non-final tear: err = %v, want non-final-segment error", err)
+	}
+}
+
+func TestMissingSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: SyncNever, SegmentBytes: 256})
+	for _, r := range records(60) {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs := segFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(segs))
+	}
+	os.Remove(filepath.Join(dir, segs[1]))
+	if _, err := Replay(dir, Options{}); err == nil || !strings.Contains(err.Error(), "missing segment") {
+		t.Fatalf("replay with missing segment: err = %v, want missing-segment error", err)
+	}
+}
+
+func TestEmptyAndMissingStateDir(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created")
+	rep := mustReplay(t, missing, Options{})
+	if rep.Snapshot != nil || len(rep.Records) != 0 || rep.Torn {
+		t.Fatalf("missing dir replayed non-empty: %+v", rep)
+	}
+
+	empty := t.TempDir()
+	rep = mustReplay(t, empty, Options{})
+	if rep.Snapshot != nil || len(rep.Records) != 0 {
+		t.Fatalf("empty dir replayed non-empty: %+v", rep)
+	}
+	// Open must create the directory and start a usable journal.
+	j := mustOpen(t, missing, Options{Fsync: SyncNever})
+	if err := j.Append([]byte(`{"first":1}`)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := mustReplay(t, missing, Options{}); len(got.Records) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got.Records))
+	}
+}
+
+// TestCompaction: after Compact the snapshot carries the state, old
+// segments are deleted, and replay returns snapshot + tail records.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	recs := records(120)
+	j := mustOpen(t, dir, Options{Fsync: SyncNever, SegmentBytes: 512})
+	for _, r := range recs[:100] {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	snap := []byte(`{"state":"everything through record 99"}`)
+	if err := j.Compact(func() []byte { return snap }); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if n := len(segFiles(t, dir)); n != 1 {
+		t.Fatalf("compaction left %d segments, want 1", n)
+	}
+	if live := j.LiveBytes(); live != 0 {
+		t.Errorf("live bytes after compact = %d, want 0", live)
+	}
+	for _, r := range recs[100:] {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append after compact: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rep := mustReplay(t, dir, Options{})
+	if !bytes.Equal(rep.Snapshot, snap) {
+		t.Fatalf("snapshot = %q, want %q", rep.Snapshot, snap)
+	}
+	assertRecords(t, rep.Records, recs[100:])
+
+	// A second compact supersedes the first snapshot.
+	j2 := mustOpen(t, dir, Options{Fsync: SyncNever})
+	snap2 := []byte(`{"state":"v2"}`)
+	if err := j2.Compact(func() []byte { return snap2 }); err != nil {
+		t.Fatalf("second compact: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rep = mustReplay(t, dir, Options{})
+	if !bytes.Equal(rep.Snapshot, snap2) {
+		t.Fatalf("snapshot = %q, want %q", rep.Snapshot, snap2)
+	}
+	if len(rep.Records) != 0 {
+		t.Fatalf("replayed %d records after full compaction, want 0", len(rep.Records))
+	}
+}
+
+// TestSnapshotJournalReplayEquivalence: the same logical history must
+// replay identically whether or not a compaction happened in the
+// middle — the property the service's recovery relies on.
+func TestSnapshotJournalReplayEquivalence(t *testing.T) {
+	plain, compacted := t.TempDir(), t.TempDir()
+	recs := records(80)
+
+	jp := mustOpen(t, plain, Options{Fsync: SyncNever})
+	for _, r := range recs {
+		if err := jp.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jp.Close()
+
+	jc := mustOpen(t, compacted, Options{Fsync: SyncNever})
+	for _, r := range recs[:40] {
+		if err := jc.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshot stands in for the first 40 records.
+	var snapped [][]byte
+	if err := jc.Compact(func() []byte {
+		var b bytes.Buffer
+		for _, r := range recs[:40] {
+			b.Write(r)
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	for _, r := range recs[40:] {
+		if err := jc.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jc.Close()
+
+	repPlain := mustReplay(t, plain, Options{})
+	repComp := mustReplay(t, compacted, Options{})
+	for _, line := range bytes.Split(bytes.TrimRight(repComp.Snapshot, "\n"), []byte("\n")) {
+		snapped = append(snapped, line)
+	}
+	assertRecords(t, append(snapped, repComp.Records...), repPlain.Records)
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: SyncNever})
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := j.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, ok := range []string{"always", "interval", "never"} {
+		if _, err := ParsePolicy(ok); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}

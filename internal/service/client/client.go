@@ -176,10 +176,19 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 	return st, err
 }
 
-// Job fetches one job's status (including its trajectory).
+// Job fetches one job's status (including its full trajectory).
 func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/jobs/"+id, nil)
+	return c.JobTail(ctx, id, -1)
+}
+
+// JobTail fetches one job's status with at most tail trajectory points
+// (?tail=N). tail < 0 requests the full trajectory; tail == 0 omits it.
+func (c *Client) JobTail(ctx context.Context, id string, tail int) (service.JobStatus, error) {
+	url := c.BaseURL + "/v1/jobs/" + id
+	if tail >= 0 {
+		url += "?tail=" + strconv.Itoa(tail)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return service.JobStatus{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the service's HTTP API:
@@ -11,8 +12,10 @@ import (
 //	POST   /v1/jobs      submit a JobSpec; 202 with the queued JobStatus,
 //	                     429 on queue overflow, 400 on a bad spec,
 //	                     503 while draining
-//	GET    /v1/jobs      list all jobs (no trajectories)
-//	GET    /v1/jobs/{id} one job's full status including trajectory
+//	GET    /v1/jobs      list all jobs (no trajectories), in submit order
+//	GET    /v1/jobs/{id} one job's full status including trajectory;
+//	                     ?tail=N bounds the trajectory to the newest N
+//	                     points (tail=0 omits it)
 //	DELETE /v1/jobs/{id} cancel a queued or running job; 200 with its
 //	                     status, 404 unknown, 409 already terminal
 //	GET    /metrics      Prometheus text exposition
@@ -79,7 +82,16 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.Job(r.PathValue("id"))
+	tail := -1 // full trajectory by default
+	if v := r.URL.Query().Get("tail"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad tail: want a non-negative integer"})
+			return
+		}
+		tail = n
+	}
+	st, ok := s.JobTail(r.PathValue("id"), tail)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
 		return
@@ -107,13 +119,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthBody is the /healthz payload. Queue depth, in-flight jobs, and
-// poisoned-task count let load balancers shed before the 429 cliff.
+// poisoned-task count let load balancers shed before the 429 cliff;
+// journal/recovered_jobs report durability and last-startup recovery.
 type healthBody struct {
 	Status        string  `json:"status"`
 	Uptime        float64 `json:"uptime_seconds"`
 	QueueDepth    int     `json:"queue_depth"`
 	InflightJobs  int64   `json:"inflight_jobs"`
 	PoisonedTasks int64   `json:"poisoned_tasks"`
+	Journal       bool    `json:"journal"`
+	RecoveredJobs int64   `json:"recovered_jobs,omitempty"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -123,6 +138,8 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:    s.QueueDepth(),
 		InflightJobs:  s.Running(),
 		PoisonedTasks: s.PoisonedTotal(),
+		Journal:       s.Durable(),
+		RecoveredJobs: s.Recovered(),
 	}
 	if s.Draining() {
 		body.Status = "draining"

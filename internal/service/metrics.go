@@ -87,6 +87,14 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			j.ID, j.Spec.Workload, j.Spec.Controller, j.CurrentM)
 	}
 
+	jst := s.JournalStats()
+	header("specd_journal_records_total", "Records appended to the write-ahead journal.", "counter")
+	fmt.Fprintf(&b, "specd_journal_records_total %d\n", jst.Records)
+	header("specd_journal_fsyncs_total", "Fsync batches issued by the journal (group commit).", "counter")
+	fmt.Fprintf(&b, "specd_journal_fsyncs_total %d\n", jst.Fsyncs)
+	header("specd_recovered_jobs_total", "Jobs restarted from spec by crash recovery at startup.", "counter")
+	fmt.Fprintf(&b, "specd_recovered_jobs_total %d\n", s.Recovered())
+
 	header("specd_uptime_seconds", "Seconds since the service started.", "gauge")
 	fmt.Fprintf(&b, "specd_uptime_seconds %s\n", formatFloat(s.Uptime().Seconds()))
 

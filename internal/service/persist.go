@@ -1,0 +1,460 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// The service journals every job lifecycle transition as one JSON
+// record in the write-ahead log (see internal/journal for framing and
+// durability). Replay applies records in append order onto the newest
+// snapshot; because compaction rotates segments before it serializes
+// the job table, a record may already be reflected in the snapshot it
+// follows, so every application below is idempotent: counters are set
+// absolutely, and trajectory points are pushed only when they advance
+// the (attempt, round) watermark.
+const (
+	recSubmitted  = "submitted"  // job accepted into the queue
+	recStarted    = "started"    // a worker began an attempt
+	recCheckpoint = "checkpoint" // periodic round checkpoint (every K rounds)
+	recFinished   = "finished"   // terminal transition: done, failed, or canceled
+)
+
+// walRecord is the wire form of one journaled transition. Fields are
+// populated per type; absolute counter values make replay idempotent.
+type walRecord struct {
+	Type    string    `json:"t"`
+	ID      string    `json:"id"`
+	At      time.Time `json:"at"`
+	Spec    *JobSpec  `json:"spec,omitempty"`    // submitted
+	Attempt int       `json:"attempt,omitempty"` // started, checkpoint, finished
+
+	// Checkpoint / finished payload: the job's attempt-local progress.
+	Rounds    int            `json:"rounds,omitempty"`
+	CurrentM  int            `json:"current_m,omitempty"`
+	Pending   int            `json:"pending,omitempty"`
+	Launched  int64          `json:"launched,omitempty"`
+	Committed int64          `json:"committed,omitempty"`
+	Aborted   int64          `json:"aborted,omitempty"`
+	Failed    int64          `json:"failed,omitempty"`
+	Poisoned  int64          `json:"poisoned,omitempty"`
+	RSum      float64        `json:"r_sum,omitempty"`
+	Counters  map[string]int `json:"counters,omitempty"`
+	// Points carries the trajectory delta since the previous checkpoint
+	// (or since the last one, for finished), so replay can rebuild the
+	// ring without journaling every round twice.
+	Points []RoundPoint `json:"points,omitempty"`
+
+	// Finished payload.
+	State  State  `json:"state,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Result string `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// snapshotFile is the compaction snapshot: the full job table.
+type snapshotFile struct {
+	Version int           `json:"version"`
+	NextID  int64         `json:"next_id"`
+	Jobs    []snapshotJob `json:"jobs"`
+}
+
+type snapshotJob struct {
+	Status JobStatus `json:"status"` // includes the trajectory ring
+	RSum   float64   `json:"r_sum,omitempty"`
+}
+
+// persist snapshots a job for the compaction snapshot file.
+func (j *job) persist() snapshotJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	if st.ControllerCounters != nil {
+		cc := make(map[string]int, len(st.ControllerCounters))
+		for k, v := range st.ControllerCounters {
+			cc[k] = v
+		}
+		st.ControllerCounters = cc
+	}
+	st.Trajectory = j.hist.slice()
+	return snapshotJob{Status: st, RSum: j.rSum}
+}
+
+// appendRecord journals one record, logging (not failing) on error —
+// a dead disk degrades durability, it does not take the service down.
+// It also triggers compaction once the live segments outgrow the
+// configured bound.
+func (s *Service) appendRecord(rec walRecord) error {
+	if s.jnl == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.cfg.Logf("specd: journal: encoding %s record for %s: %v", rec.Type, rec.ID, err)
+		return err
+	}
+	if err := s.jnl.Append(b); err != nil {
+		s.cfg.Logf("specd: journal: appending %s record for %s: %v", rec.Type, rec.ID, err)
+		return err
+	}
+	if s.jnl.LiveBytes() >= s.cfg.CompactBytes {
+		s.compact()
+	}
+	return nil
+}
+
+// journalSubmitted records admission. Called after the job is queued;
+// the fsync policy decides when it becomes durable.
+func (s *Service) journalSubmitted(j *job) {
+	if s.jnl == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := walRecord{Type: recSubmitted, ID: j.status.ID, At: j.status.SubmittedAt}
+	spec := j.status.Spec
+	rec.Spec = &spec
+	j.mu.Unlock()
+	s.appendRecord(rec)
+}
+
+func (s *Service) journalStarted(id string, attempt int, at time.Time) {
+	if s.jnl == nil {
+		return
+	}
+	s.appendRecord(walRecord{Type: recStarted, ID: id, At: at, Attempt: attempt})
+}
+
+// progressRecord captures the job's attempt-local progress under its
+// lock, shared by checkpoint and finished records.
+func (j *job) progressRecord(typ string, points []RoundPoint) walRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	rec := walRecord{
+		Type: typ, ID: st.ID, At: time.Now(), Attempt: st.Attempt,
+		Rounds: st.Rounds, CurrentM: st.CurrentM, Pending: st.Pending,
+		Launched: st.Launched, Committed: st.Committed, Aborted: st.Aborted,
+		Failed: st.Failed, Poisoned: st.Poisoned, RSum: j.rSum,
+	}
+	if st.ControllerCounters != nil {
+		rec.Counters = make(map[string]int, len(st.ControllerCounters))
+		for k, v := range st.ControllerCounters {
+			rec.Counters[k] = v
+		}
+	}
+	if len(points) > 0 {
+		rec.Points = append([]RoundPoint(nil), points...)
+	}
+	if typ == recFinished {
+		rec.State = st.State
+		rec.Reason = st.Reason
+		rec.Result = st.Result
+		rec.Error = st.Error
+		if st.FinishedAt != nil {
+			rec.At = *st.FinishedAt
+		}
+	}
+	return rec
+}
+
+func (s *Service) journalCheckpoint(j *job, points []RoundPoint) {
+	if s.jnl == nil {
+		return
+	}
+	s.appendRecord(j.progressRecord(recCheckpoint, points))
+}
+
+// journalFinish records a terminal transition with any trajectory
+// points not yet covered by a checkpoint.
+func (s *Service) journalFinish(j *job, points []RoundPoint) {
+	if s.jnl == nil {
+		return
+	}
+	s.appendRecord(j.progressRecord(recFinished, points))
+}
+
+// compact serializes the job table into a snapshot and lets the
+// journal drop the segments it covers. Concurrent triggers collapse
+// into one pass.
+func (s *Service) compact() {
+	if s.jnl == nil || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	err := s.jnl.Compact(func() []byte {
+		s.mu.Lock()
+		jobs := make([]*job, 0, len(s.order))
+		for _, id := range s.order {
+			jobs = append(jobs, s.jobs[id])
+		}
+		s.mu.Unlock()
+		snap := snapshotFile{Version: 1, NextID: s.nextID.Load()}
+		snap.Jobs = make([]snapshotJob, len(jobs))
+		for i, j := range jobs {
+			snap.Jobs[i] = j.persist()
+		}
+		b, err := json.Marshal(snap)
+		if err != nil {
+			s.cfg.Logf("specd: journal: encoding snapshot: %v", err)
+			return []byte(`{"version":1,"jobs":[]}`)
+		}
+		return b
+	})
+	if err != nil && err != journal.ErrClosed {
+		s.cfg.Logf("specd: journal: compaction failed: %v", err)
+	}
+}
+
+// jobNum parses the numeric part of a "j<N>" job id (0 if foreign).
+func jobNum(id string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// restored is the outcome of replaying a state directory.
+type restored struct {
+	jobs      map[string]*job
+	order     []string // submit order (ascending numeric id)
+	pending   []*job   // queued + recovered jobs, in submit order
+	maxID     int64
+	recovered int64 // jobs that were running at crash time
+	completed int64
+}
+
+// pointKey orders trajectory points across attempts: points replay
+// only when they advance past the ring's current watermark, which
+// makes re-applying a record the snapshot already reflects a no-op.
+func pointKey(p RoundPoint) (int, int) {
+	a := p.Attempt
+	if a == 0 {
+		a = 1
+	}
+	return a, p.Round
+}
+
+func pointAfter(p RoundPoint, lastA, lastR int) bool {
+	a, r := pointKey(p)
+	if a != lastA {
+		return a > lastA
+	}
+	return r > lastR
+}
+
+// restoreState rebuilds the job table from a replayed snapshot and
+// record stream. Jobs that were running when the process died come
+// back in StateRecovered with the attempt counter bumped and their
+// checkpointed trajectory prefix intact; queued jobs come back queued;
+// terminal jobs come back exactly as they finished.
+func (s *Service) restoreState(rep *journal.Replayed) (*restored, error) {
+	r := &restored{jobs: make(map[string]*job)}
+	// watermarks tracks each job's newest trajectory point.
+	type mark struct{ a, rd int }
+	marks := make(map[string]*mark)
+
+	touch := func(id string) *job {
+		if j, ok := r.jobs[id]; ok {
+			return j
+		}
+		j := &job{
+			hist:     ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
+			cancelCh: make(chan struct{}),
+		}
+		j.status.ID = id
+		j.status.State = StateQueued
+		j.status.Attempt = 1
+		r.jobs[id] = j
+		marks[id] = &mark{}
+		return j
+	}
+	push := func(j *job, m *mark, pts []RoundPoint) {
+		for _, p := range pts {
+			if !pointAfter(p, m.a, m.rd) {
+				continue
+			}
+			j.hist.push(p)
+			m.a, m.rd = pointKey(p)
+		}
+	}
+
+	if len(rep.Snapshot) > 0 {
+		var snap snapshotFile
+		if err := json.Unmarshal(rep.Snapshot, &snap); err != nil {
+			return nil, fmt.Errorf("decoding snapshot: %w", err)
+		}
+		if snap.NextID > r.maxID {
+			r.maxID = snap.NextID
+		}
+		for _, sj := range snap.Jobs {
+			st := sj.Status
+			if st.ID == "" {
+				continue
+			}
+			traj := st.Trajectory
+			st.Trajectory = nil
+			if st.Attempt == 0 {
+				st.Attempt = 1
+			}
+			j := &job{
+				status:   st,
+				rSum:     sj.RSum,
+				hist:     ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
+				cancelCh: make(chan struct{}),
+			}
+			m := &mark{}
+			r.jobs[st.ID] = j
+			marks[st.ID] = m
+			push(j, m, traj)
+		}
+	}
+
+	for i, raw := range rep.Records {
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("decoding journal record %d: %w", i, err)
+		}
+		if rec.ID == "" {
+			continue
+		}
+		j := touch(rec.ID)
+		m := marks[rec.ID]
+		st := &j.status
+		switch rec.Type {
+		case recSubmitted:
+			if st.Spec.Workload == "" && rec.Spec != nil {
+				st.Spec = *rec.Spec
+				st.SubmittedAt = rec.At
+			}
+		case recStarted:
+			if st.Terminal() {
+				continue
+			}
+			if rec.Attempt >= st.Attempt {
+				if rec.Attempt > st.Attempt || st.State == StateQueued || st.State == StateRecovered {
+					resetAttemptCounters(j)
+				}
+				st.Attempt = rec.Attempt
+				at := rec.At
+				st.State = StateRunning
+				st.StartedAt = &at
+			}
+		case recCheckpoint:
+			if st.Terminal() || rec.Attempt < st.Attempt {
+				continue
+			}
+			if rec.Attempt == st.Attempt && rec.Rounds < st.Rounds {
+				continue
+			}
+			st.Attempt = rec.Attempt
+			st.State = StateRunning
+			applyProgress(j, rec)
+			push(j, m, rec.Points)
+		case recFinished:
+			if rec.Attempt < st.Attempt {
+				continue
+			}
+			st.Attempt = max(rec.Attempt, st.Attempt)
+			applyProgress(j, rec)
+			push(j, m, rec.Points)
+			st.State = rec.State
+			st.Reason = rec.Reason
+			st.Result = rec.Result
+			st.Error = rec.Error
+			at := rec.At
+			st.FinishedAt = &at
+		default:
+			s.cfg.Logf("specd: journal: skipping unknown record type %q for %s", rec.Type, rec.ID)
+		}
+	}
+
+	for id, j := range r.jobs {
+		if j.status.Spec.Workload == "" {
+			// A record stream that starts mid-lifecycle (the submitted
+			// record never became durable): nothing to re-run from.
+			s.cfg.Logf("specd: journal: dropping job %s with no recoverable spec", id)
+			delete(r.jobs, id)
+			continue
+		}
+		if n := jobNum(id); n > r.maxID {
+			r.maxID = n
+		}
+	}
+
+	r.order = make([]string, 0, len(r.jobs))
+	for id := range r.jobs {
+		r.order = append(r.order, id)
+	}
+	sort.Slice(r.order, func(a, b int) bool {
+		na, nb := jobNum(r.order[a]), jobNum(r.order[b])
+		if na != nb {
+			return na < nb
+		}
+		return r.order[a] < r.order[b]
+	})
+
+	for _, id := range r.order {
+		j := r.jobs[id]
+		switch j.status.State {
+		case StateRunning:
+			// Running at crash time: restart from spec on a fresh attempt,
+			// keeping the checkpointed progress visible until it starts.
+			j.status.State = StateRecovered
+			j.status.Attempt++
+			r.recovered++
+			r.pending = append(r.pending, j)
+		case StateRecovered:
+			// Crashed again before the recovered attempt started; the
+			// attempt counter was already bumped.
+			r.recovered++
+			r.pending = append(r.pending, j)
+		case StateQueued:
+			r.pending = append(r.pending, j)
+		default:
+			r.completed++
+		}
+	}
+	return r, nil
+}
+
+// resetAttemptCounters zeroes the attempt-local progress fields while
+// preserving the trajectory ring (the pre-crash prefix).
+func resetAttemptCounters(j *job) {
+	st := &j.status
+	st.Rounds, st.CurrentM, st.Pending = 0, 0, 0
+	st.Launched, st.Committed, st.Aborted, st.Failed, st.Poisoned = 0, 0, 0, 0, 0
+	st.ConflictRatio, st.MeanConflictRatio = 0, 0
+	st.ControllerCounters = nil
+	st.Result, st.Error, st.Reason = "", "", ""
+	j.rSum = 0
+}
+
+// applyProgress sets the absolute progress fields from a checkpoint or
+// finished record.
+func applyProgress(j *job, rec walRecord) {
+	st := &j.status
+	st.Rounds = rec.Rounds
+	st.CurrentM = rec.CurrentM
+	st.Pending = rec.Pending
+	st.Launched, st.Committed, st.Aborted = rec.Launched, rec.Committed, rec.Aborted
+	st.Failed, st.Poisoned = rec.Failed, rec.Poisoned
+	j.rSum = rec.RSum
+	st.ControllerCounters = rec.Counters
+	if st.Launched > 0 {
+		st.ConflictRatio = float64(st.Aborted) / float64(st.Launched)
+	} else {
+		st.ConflictRatio = 0
+	}
+	if st.Rounds > 0 {
+		st.MeanConflictRatio = j.rSum / float64(st.Rounds)
+	} else {
+		st.MeanConflictRatio = 0
+	}
+}

@@ -9,6 +9,15 @@
 // internal/workload registry, and the round loop itself is the paper's
 // Algorithm 1 main loop (M → Round → Observe) expressed over
 // workload.Stepper so ordered and unordered workloads run identically.
+//
+// With Config.StateDir set (Open), the service is durable: every job
+// lifecycle transition is journaled to a write-ahead log, running jobs
+// checkpoint every CheckpointEvery rounds, and startup replays
+// snapshot+journal to rebuild the job table — completed jobs reappear
+// with their trajectories, queued jobs re-enqueue, and jobs that were
+// running when the process died restart from spec in StateRecovered
+// with their checkpointed trajectory prefix preserved. See persist.go
+// and internal/journal.
 package service
 
 import (
@@ -20,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/journal"
 	"repro/internal/workload"
 )
 
@@ -48,11 +58,12 @@ func specErrf(format string, args ...any) error {
 type State string
 
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled" // user cancel, shutdown, or deadline; see JobStatus.Reason
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateRecovered State = "recovered" // restored after a crash, awaiting re-execution
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled" // user cancel, shutdown, or deadline; see JobStatus.Reason
 )
 
 // Reason values distinguishing why a job ended the way it did.
@@ -66,7 +77,7 @@ const (
 // States lists every job state (metrics export them all, including
 // zero-valued ones, so dashboards see stable series).
 func States() []State {
-	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+	return []State{StateQueued, StateRunning, StateRecovered, StateDone, StateFailed, StateCanceled}
 }
 
 // JobSpec is the wire-level job description accepted by POST /v1/jobs.
@@ -98,6 +109,10 @@ type RoundPoint struct {
 	Failed    int     `json:"failed,omitempty"`   // panicked / errored attempts
 	Poisoned  int     `json:"poisoned,omitempty"` // retry budgets exhausted this round
 	R         float64 `json:"r"` // conflict ratio observed this round
+	// Attempt tags points recorded by a post-recovery re-execution
+	// (omitted for attempt 1), so a restored trajectory distinguishes
+	// the pre-crash prefix from the rerun.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // JobStatus is the externally visible snapshot of a job, returned by
@@ -109,6 +124,9 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Attempt counts executions of this job: 1 normally, bumped each
+	// time crash recovery restarts it from spec.
+	Attempt int `json:"attempt,omitempty"`
 
 	Rounds            int     `json:"rounds"`
 	CurrentM          int     `json:"current_m"`
@@ -141,6 +159,7 @@ type job struct {
 	mu     sync.Mutex
 	status JobStatus
 	hist   ring
+	rSum   float64 // sum of per-round conflict ratios (attempt-local)
 
 	// cancelCh is closed (once) to ask a running job to stop at its
 	// next round barrier; cancelReason is set under mu beforehand.
@@ -187,8 +206,18 @@ func (r *ring) slice() []RoundPoint {
 	return out
 }
 
+// tail returns the last n points (everything when n < 0, nothing when
+// n == 0).
+func (r *ring) tail(n int) []RoundPoint {
+	out := r.slice()
+	if n < 0 || n >= len(out) {
+		return out
+	}
+	return out[len(out)-n:]
+}
+
 // record folds one executed round into the job under its lock.
-func (j *job) record(p RoundPoint, pending int, rSum *float64, counters map[string]int) {
+func (j *job) record(p RoundPoint, pending int, counters map[string]int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := &j.status
@@ -203,14 +232,15 @@ func (j *job) record(p RoundPoint, pending int, rSum *float64, counters map[stri
 	if st.Launched > 0 {
 		st.ConflictRatio = float64(st.Aborted) / float64(st.Launched)
 	}
-	*rSum += p.R
-	st.MeanConflictRatio = *rSum / float64(st.Rounds)
+	j.rSum += p.R
+	st.MeanConflictRatio = j.rSum / float64(st.Rounds)
 	st.ControllerCounters = counters
 	j.hist.push(p)
 }
 
-// snapshot returns a deep-enough copy for JSON encoding.
-func (j *job) snapshot(withTrajectory bool) JobStatus {
+// snapshot returns a deep-enough copy for JSON encoding, with the last
+// tail trajectory points (all when tail < 0, none when tail == 0).
+func (j *job) snapshot(tail int) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := j.status
@@ -221,8 +251,8 @@ func (j *job) snapshot(withTrajectory bool) JobStatus {
 		}
 		st.ControllerCounters = cc
 	}
-	if withTrajectory {
-		st.Trajectory = j.hist.slice()
+	if tail != 0 {
+		st.Trajectory = j.hist.tail(tail)
 	}
 	return st
 }
@@ -250,6 +280,20 @@ type Config struct {
 	MaxSize            int // largest accepted spec.Size (default 1_000_000)
 	DefaultTaskRetries int // retry budget when spec.TaskRetries == 0 (0 = executor default)
 
+	// StateDir enables durability (Open only): the write-ahead journal
+	// and snapshots live here. Empty = in-memory only.
+	StateDir string
+	// Fsync selects the journal durability policy (default journal.SyncAlways).
+	Fsync journal.Policy
+	// FsyncInterval is the flush period for journal.SyncInterval (default 5ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery journals a running job's progress every K rounds
+	// (default 32).
+	CheckpointEvery int
+	// CompactBytes triggers snapshot compaction once live journal
+	// segments exceed this size (default 4 MiB).
+	CompactBytes int64
+
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -272,6 +316,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSize <= 0 {
 		c.MaxSize = 1_000_000
+	}
+	if c.Fsync == "" {
+		c.Fsync = journal.SyncAlways
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 32
+	}
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 4 << 20
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -297,23 +350,85 @@ type Service struct {
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	running   atomic.Int64 // jobs currently executing rounds
+
+	jnl        *journal.Journal // nil when StateDir is unset
+	recovered  atomic.Int64     // jobs restarted from spec after a crash
+	compacting atomic.Bool
+	closeOnce  sync.Once
 }
 
-// New starts a service with cfg.Workers runner goroutines.
+// New starts an in-memory service with cfg.Workers runner goroutines.
+// Config.StateDir is ignored; use Open for durability.
 func New(cfg Config) *Service {
+	cfg.StateDir = ""
+	s, _ := Open(cfg)
+	return s
+}
+
+// Open starts a service. With cfg.StateDir set it first replays the
+// state directory — rebuilding completed jobs with their trajectories,
+// re-enqueueing queued jobs, and restarting crash-interrupted jobs from
+// spec in StateRecovered — and then journals every subsequent lifecycle
+// transition. A torn final journal record is truncated with a warning;
+// corruption anywhere else fails startup.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:   cfg,
 		start: time.Now(),
 		jobs:  make(map[string]*job),
-		queue: make(chan *job, cfg.QueueCap),
 		stop:  make(chan struct{}),
+	}
+
+	var pending []*job
+	if cfg.StateDir != "" {
+		opts := journal.Options{
+			Fsync:    cfg.Fsync,
+			Interval: cfg.FsyncInterval,
+			Logf:     cfg.Logf,
+		}
+		rep, err := journal.Replay(cfg.StateDir, opts)
+		if err != nil {
+			return nil, fmt.Errorf("service: replaying %s: %w", cfg.StateDir, err)
+		}
+		rst, err := s.restoreState(rep)
+		if err != nil {
+			return nil, fmt.Errorf("service: restoring %s: %w", cfg.StateDir, err)
+		}
+		jnl, err := journal.Open(cfg.StateDir, opts)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening journal in %s: %w", cfg.StateDir, err)
+		}
+		s.jnl = jnl
+		s.jobs = rst.jobs
+		s.order = rst.order
+		s.nextID.Store(rst.maxID)
+		s.submitted.Store(int64(len(rst.order)))
+		s.recovered.Store(rst.recovered)
+		pending = rst.pending
+		if len(rst.order) > 0 || rep.Torn {
+			cfg.Logf("specd: recovered state from %s: %d jobs (%d completed, %d re-queued, %d restarted after crash)",
+				cfg.StateDir, len(rst.order), rst.completed,
+				len(rst.pending)-int(rst.recovered), rst.recovered)
+		}
+	}
+
+	// Size the queue so every recovered pending job enqueues without
+	// blocking startup, while fresh admissions still see QueueCap slots.
+	s.queue = make(chan *job, cfg.QueueCap+len(pending))
+	for _, j := range pending {
+		s.queue <- j
+	}
+	if s.jnl != nil {
+		// Fold the replayed segments into a fresh snapshot so the next
+		// startup replays one snapshot instead of the full history.
+		s.compact()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // normalize validates spec against the service limits and fills
@@ -396,6 +511,7 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 			State:       StateQueued,
 			Spec:        spec,
 			SubmittedAt: time.Now(),
+			Attempt:     1,
 		},
 		hist:     ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
 		cancelCh: make(chan struct{}),
@@ -413,18 +529,26 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	s.order = append(s.order, j.status.ID)
 	s.mu.Unlock()
 	s.submitted.Add(1)
-	return j.snapshot(false), nil
+	s.journalSubmitted(j)
+	return j.snapshot(0), nil
 }
 
-// Job returns the status of the given job (with its trajectory).
+// Job returns the status of the given job (with its full trajectory).
 func (s *Service) Job(id string) (JobStatus, bool) {
+	return s.JobTail(id, -1)
+}
+
+// JobTail returns the status of the given job with at most tail
+// trajectory points (the newest ones). tail < 0 means the full ring;
+// tail == 0 omits the trajectory.
+func (s *Service) JobTail(id string, tail int) (JobStatus, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
 		return JobStatus{}, false
 	}
-	return j.snapshot(true), true
+	return j.snapshot(tail), true
 }
 
 // Jobs lists every known job in submission order, without trajectories.
@@ -438,7 +562,7 @@ func (s *Service) Jobs() []JobStatus {
 	s.mu.Unlock()
 	out := make([]JobStatus, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.snapshot(false)
+		out[i] = j.snapshot(0)
 	}
 	return out
 }
@@ -457,13 +581,14 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 	}
 	j.mu.Lock()
 	switch j.status.State {
-	case StateQueued:
+	case StateQueued, StateRecovered:
 		j.status.State = StateCanceled
 		j.status.Reason = ReasonUserCancel
 		j.status.Error = "canceled before start"
 		now := time.Now()
 		j.status.FinishedAt = &now
 		j.mu.Unlock()
+		s.journalFinish(j, nil)
 		s.cfg.Logf("specd: job %s canceled while queued", id)
 	case StateRunning:
 		j.mu.Unlock()
@@ -471,9 +596,9 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 		s.cfg.Logf("specd: job %s cancel requested (stopping at next round barrier)", id)
 	default:
 		j.mu.Unlock()
-		return j.snapshot(false), ErrJobTerminal
+		return j.snapshot(0), ErrJobTerminal
 	}
-	return j.snapshot(false), nil
+	return j.snapshot(0), nil
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
@@ -494,12 +619,30 @@ func (s *Service) PoisonedTotal() int64 {
 // Draining reports whether Shutdown has begun.
 func (s *Service) Draining() bool { return s.draining.Load() }
 
+// Durable reports whether the service journals to a state directory.
+func (s *Service) Durable() bool { return s.jnl != nil }
+
+// Recovered returns the number of jobs restarted from spec after a
+// crash (counted at startup replay).
+func (s *Service) Recovered() int64 { return s.recovered.Load() }
+
+// JournalStats returns the journal's live counters (zero when the
+// service is in-memory only).
+func (s *Service) JournalStats() journal.Stats {
+	if s.jnl == nil {
+		return journal.Stats{}
+	}
+	return s.jnl.CurrentStats()
+}
+
 // Uptime returns time since New.
 func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
 
 // Shutdown stops admission, lets running jobs finish their in-flight
 // round (marking them canceled), leaves queued jobs queued, and waits
-// for the workers to exit or ctx to expire.
+// for the workers to exit or ctx to expire. On a clean drain the
+// journal is compacted into a snapshot and closed, so the next startup
+// replays one snapshot file.
 func (s *Service) Shutdown(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
 		close(s.stop)
@@ -511,6 +654,14 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.jnl != nil {
+			s.compact()
+			s.closeOnce.Do(func() {
+				if err := s.jnl.Close(); err != nil {
+					s.cfg.Logf("specd: journal: close: %v", err)
+				}
+			})
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -540,25 +691,43 @@ func (s *Service) worker() {
 // invariant the SIGTERM e2e asserts and the round-barrier semantics
 // DELETE /v1/jobs/{id} documents.
 func (s *Service) runJob(j *job) {
-	spec := j.snapshot(false).Spec
+	spec := j.snapshot(0).Spec
 	id := j.status.ID // immutable after creation
 
 	// Claim: a job canceled while queued may still be sitting in the
-	// queue channel; skip it instead of resurrecting it.
+	// queue channel; skip it instead of resurrecting it. A recovered job
+	// restarts from spec: its attempt-local counters reset here (the
+	// attempt counter was bumped at recovery), while the trajectory ring
+	// keeps the checkpointed pre-crash prefix.
 	j.mu.Lock()
-	if j.status.State != StateQueued {
+	if j.status.State != StateQueued && j.status.State != StateRecovered {
 		j.mu.Unlock()
 		return
+	}
+	if j.status.State == StateRecovered {
+		resetAttemptCounters(j)
 	}
 	j.status.State = StateRunning
 	now := time.Now()
 	j.status.StartedAt = &now
+	attempt := j.status.Attempt
 	j.mu.Unlock()
 
 	s.running.Add(1)
 	defer s.running.Add(-1)
-	s.cfg.Logf("specd: job %s started: workload=%s controller=%s size=%d seed=%d",
-		id, spec.Workload, spec.Controller, spec.Size, spec.Seed)
+	s.journalStarted(id, attempt, now)
+
+	// delta accumulates rounds not yet covered by a checkpoint record;
+	// the terminal record flushes the remainder.
+	var delta []RoundPoint
+	defer func() {
+		if j.snapshot(0).Terminal() {
+			s.journalFinish(j, delta)
+		}
+	}()
+
+	s.cfg.Logf("specd: job %s started: workload=%s controller=%s size=%d seed=%d attempt=%d",
+		id, spec.Workload, spec.Controller, spec.Size, spec.Seed, attempt)
 
 	ctrl, err := workload.NewController(spec.Controller, workload.ControllerParams{
 		Rho: spec.Rho, M0: spec.M0, FixedM: spec.FixedM,
@@ -613,7 +782,6 @@ func (s *Service) runJob(j *job) {
 	}
 
 	telemetry, _ := ctrl.(control.Telemetry)
-	rSum := 0.0
 	round := 0
 	for ; round < spec.MaxRounds && run.Stepper.Pending() > 0; round++ {
 		select {
@@ -645,11 +813,22 @@ func (s *Service) runJob(j *job) {
 		if telemetry != nil {
 			counters = telemetry.Counters()
 		}
-		j.record(RoundPoint{
+		p := RoundPoint{
 			Round: round, M: m,
 			Launched: rr.Launched, Committed: rr.Committed, Aborted: rr.Aborted,
 			Failed: rr.Failed, Poisoned: rr.Poisoned, R: r,
-		}, run.Stepper.Pending(), &rSum, counters)
+		}
+		if attempt > 1 {
+			p.Attempt = attempt
+		}
+		j.record(p, run.Stepper.Pending(), counters)
+		if s.jnl != nil {
+			delta = append(delta, p)
+			if len(delta) >= s.cfg.CheckpointEvery {
+				s.journalCheckpoint(j, delta)
+				delta = delta[:0]
+			}
+		}
 	}
 
 	if run.Stepper.Pending() > 0 {

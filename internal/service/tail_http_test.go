@@ -1,0 +1,71 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestJobTailHTTP exercises ?tail=N through the full HTTP stack and
+// the client's JobTail helper.
+func TestJobTailHTTP(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1, QueueCap: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 300, Parallel: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != service.StateDone || len(final.Trajectory) < 3 {
+		t.Fatalf("state %s with %d trajectory points; need a done job with >= 3", final.State, len(final.Trajectory))
+	}
+
+	for _, tc := range []struct{ tail, want int }{
+		{0, 0},
+		{2, 2},
+		{len(final.Trajectory) + 5, len(final.Trajectory)},
+	} {
+		got, err := c.JobTail(ctx, st.ID, tc.tail)
+		if err != nil {
+			t.Fatalf("JobTail(%d): %v", tc.tail, err)
+		}
+		if len(got.Trajectory) != tc.want {
+			t.Errorf("JobTail(%d): %d points, want %d", tc.tail, len(got.Trajectory), tc.want)
+		}
+		if got.Rounds != final.Rounds || got.State != final.State {
+			t.Errorf("JobTail(%d) changed non-trajectory fields: %+v", tc.tail, got)
+		}
+	}
+
+	// ?tail=2 returns the NEWEST points.
+	got, err := c.JobTail(ctx, st.ID, 2)
+	if err != nil {
+		t.Fatalf("JobTail(2): %v", err)
+	}
+	wantLast := final.Trajectory[len(final.Trajectory)-2:]
+	for i, p := range got.Trajectory {
+		if p != wantLast[i] {
+			t.Errorf("tail point %d = %+v, want %+v", i, p, wantLast[i])
+		}
+	}
+
+	// A malformed tail is a 400, not a silent full payload.
+	for _, bad := range []string{"-3", "x", "1.5"} {
+		resp, err := http.Get(c.BaseURL + "/v1/jobs/" + st.ID + "?tail=" + bad)
+		if err != nil {
+			t.Fatalf("GET tail=%s: %v", bad, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("tail=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
