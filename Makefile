@@ -9,9 +9,9 @@ BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: check vet build test race chaos crash bench bench-sim
+.PHONY: check vet build test race equiv chaos crash bench bench-sim
 
-check: vet build test race
+check: vet build test race equiv
 
 vet:
 	$(GO) vet ./...
@@ -32,13 +32,21 @@ race:
 	$(GO) test -race ./internal/speculation/ ./internal/workset/ ./internal/workload/ ./internal/service/ \
 		./internal/graph/ ./internal/sched/ ./internal/profile/ ./internal/control/
 
+# equiv is the controller-equivalence acceptance check for the
+# barrier-free executor: the hybrid controller fed sliding-window
+# pseudo-rounds must settle to the same steady-state m as the same
+# controller fed real rounds on the synthetic cc workload.
+equiv:
+	$(GO) test -count=1 -run 'TestAsyncControllerEquivalence|TestWindowedEstimator' \
+		./internal/workload/ ./internal/control/
+
 # chaos runs the fault-injection and cancellation end-to-end suites
 # under the race detector: deterministic panic/error/delay injection
 # through the executors, 429 storms against the client backoff, and
 # cancel/deadline/shutdown races. Bounded well under a minute.
 chaos:
 	$(GO) test -race -count=1 -timeout 120s \
-		-run 'Chaos|Cancel|Deadline|Fault|Inject|Poison|Failure' \
+		-run 'Chaos|Cancel|Deadline|Fault|Inject|Poison|Failure|Async' \
 		./internal/faultinject/ ./internal/service/ ./internal/workload/ ./internal/speculation/
 
 # crash runs the kill-and-recover e2e under the race detector: SIGKILL
@@ -52,12 +60,13 @@ crash:
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s
 
-# bench-sim reproduces the simulation-layer benchmarks (CSR greedy-MIS
-# kernel, serial vs parallel conflict-ratio estimators) and records
-# per-benchmark medians in $(BENCH_SIM_OUT).
+# bench-sim reproduces the simulation- and executor-layer benchmarks
+# (CSR greedy-MIS kernel, serial vs parallel conflict-ratio estimators,
+# round-barrier vs barrier-free execution on the straggler workload)
+# and records per-benchmark medians in $(BENCH_SIM_OUT).
 bench-sim:
-	$(GO) test ./internal/graph/ ./internal/sched/ -run NONE \
-		-bench 'BenchmarkCSRMIS|BenchmarkMapMIS|BenchmarkConflictRatioMC' \
+	$(GO) test ./internal/graph/ ./internal/sched/ ./internal/speculation/ -run NONE \
+		-bench 'BenchmarkCSRMIS|BenchmarkMapMIS|BenchmarkConflictRatioMC|BenchmarkExecutorAsync' \
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
 		| $(GO) run ./cmd/benchfmt > $(BENCH_SIM_OUT)
 	@cat $(BENCH_SIM_OUT)

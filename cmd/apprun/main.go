@@ -16,6 +16,11 @@
 // NumCPU); -parallel 0 launches one goroutine per task, the paper's
 // model-faithful one-processor-per-task simulation.
 //
+// -async drops the round barrier: workers continuously pull tasks
+// through a resizable in-flight semaphore and the controller observes a
+// sliding commit window instead of rounds ("cc" and "spin" only;
+// -commit-window fixes the window size, 0 tracks the controller's m).
+//
 // Workloads and controllers are instantiated through the shared
 // internal/workload registry — the same constructors cmd/controlsim and
 // the specd service use.
@@ -29,6 +34,7 @@ import (
 	"runtime"
 
 	"repro/internal/control"
+	"repro/internal/speculation"
 	"repro/internal/workload"
 )
 
@@ -44,6 +50,10 @@ func main() {
 	maxRounds := flag.Int("max-rounds", 1<<30, "abandon a run after this many rounds")
 	retries := flag.Int("task-retries", 0,
 		"retry budget for failed tasks (0 = default, negative = no retries)")
+	async := flag.Bool("async", false,
+		"run barrier-free with sliding-window control (workloads with async support only)")
+	window := flag.Int("commit-window", 0,
+		"fixed async commit-window size (0 = track the controller's m)")
 	flag.Parse()
 
 	newCtrl := func() control.Controller {
@@ -65,6 +75,10 @@ func main() {
 		apps = []string{"mesh", "boruvka", "sp", "cluster", "des", "maxflow"}
 	}
 	for _, a := range apps {
+		if *async && !workload.SupportsAsync(a) {
+			fmt.Fprintf(os.Stderr, "app %q does not support -async (only: cc, spin)\n", a)
+			os.Exit(2)
+		}
 		c := newCtrl()
 		run, err := workload.New(a, workload.Params{
 			Size: *size, Seed: *seed, Parallel: *par, TaskRetries: *retries})
@@ -72,7 +86,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown app %q\n", a)
 			os.Exit(2)
 		}
-		res := workload.Drain(context.Background(), run.Stepper, c, *maxRounds)
+		var res *speculation.AdaptiveResult
+		if *async {
+			res, err = workload.DrainAsync(context.Background(), run.Stepper, c,
+				speculation.AsyncOptions{Window: *window, MaxSamples: *maxRounds})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else {
+			res = workload.Drain(context.Background(), run.Stepper, c, *maxRounds)
+		}
 		if pending := run.Stepper.Pending(); pending > 0 {
 			// The cap cut the drain short; the oracle would report a
 			// partial result as a failure, so say what happened instead.

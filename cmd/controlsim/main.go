@@ -61,6 +61,10 @@ func main() {
 		"executor worker-pool size (0 = one goroutine per task)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"Monte Carlo estimation workers for the μ bisection probes")
+	async := flag.Bool("async", false,
+		"-efficiency only: drive the CC workload barrier-free with sliding-window control")
+	window := flag.Int("commit-window", 0,
+		"fixed async commit-window size (0 = track the controller's m)")
 	flag.Parse()
 
 	switch {
@@ -73,7 +77,7 @@ func main() {
 	case *smart:
 		runSmartStart(*n, *rho, *seed, *workers)
 	case *efficiency:
-		runEfficiency(*n, *rho, *seed, *par)
+		runEfficiency(*n, *rho, *seed, *par, *async, *window)
 	case *rhoSweep:
 		runRhoSweep(*n, *seed, *par)
 	default:
@@ -246,8 +250,12 @@ func runSmartStart(n int, rho float64, seed uint64, workers int) {
 // runEfficiency quantifies the paper's intro trade-off on the real
 // speculative runtime: too many processors waste work and power, too
 // few waste time; the adaptive controller balances both.
-func runEfficiency(n int, rho float64, seed uint64, par int) {
-	fmt.Printf("Adaptive vs fixed-m on a draining CC workload (n=%d, d=24, ρ=%.0f%%)\n", n, rho*100)
+func runEfficiency(n int, rho float64, seed uint64, par int, async bool, window int) {
+	mode := "rounds"
+	if async {
+		mode = "barrier-free"
+	}
+	fmt.Printf("Adaptive vs fixed-m on a draining CC workload (n=%d, d=24, ρ=%.0f%%, %s)\n", n, rho*100, mode)
 	fmt.Println("rounds ≈ makespan; proc-rounds ≈ energy; efficiency = useful/total work")
 	run := func(c control.Controller) *speculation.AdaptiveResult {
 		// The synthetic CC workload comes from the shared registry — the
@@ -257,6 +265,14 @@ func runEfficiency(n int, rho float64, seed uint64, par int) {
 			panic(err)
 		}
 		defer cc.Stepper.Close()
+		if async {
+			res, err := workload.DrainAsync(context.Background(), cc.Stepper, c,
+				speculation.AsyncOptions{Window: window})
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
 		return workload.Drain(context.Background(), cc.Stepper, c, 1<<30)
 	}
 	tbl := trace.NewTable("efficiency",

@@ -16,10 +16,17 @@
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
+// -async makes barrier-free execution the default for jobs whose
+// workload supports it ("cc", "spin"): workers continuously pull tasks
+// through a resizable in-flight semaphore and the controller is fed by
+// a sliding commit window. Jobs may still pick a mode explicitly with
+// {"mode":"round"|"async"}.
+//
 // With -state-dir set the daemon is durable: every job lifecycle
 // transition is journaled to a write-ahead log in that directory
-// (fsync policy chosen by -fsync, progress checkpointed every
-// -checkpoint-rounds rounds), and a restart with the same -state-dir
+// (fsync policy chosen by -fsync; progress checkpointed every
+// -checkpoint-rounds rounds, or for async jobs every
+// -checkpoint-commits commits), and a restart with the same -state-dir
 // replays it — completed jobs reappear with their trajectories, queued
 // jobs re-enqueue, and jobs that were running when the process died
 // are re-run from spec.
@@ -58,6 +65,8 @@ func main() {
 	stateDir := flag.String("state-dir", "", "state directory for the write-ahead journal (empty = in-memory only)")
 	fsyncPolicy := flag.String("fsync", "always", "journal fsync policy: always | interval | never")
 	checkpointRounds := flag.Int("checkpoint-rounds", 32, "journal a running job's progress every K rounds")
+	checkpointCommits := flag.Int("checkpoint-commits", 2048, "journal a running async job's progress every K commits")
+	asyncDefault := flag.Bool("async", false, "run jobs barrier-free by default where the workload supports it (jobs may still set \"mode\" explicitly)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -68,6 +77,10 @@ func main() {
 		logger.Fatalf("specd: %v", err)
 	}
 
+	defaultMode := service.ModeRound
+	if *asyncDefault {
+		defaultMode = service.ModeAsync
+	}
 	svc, err := service.Open(service.Config{
 		QueueCap:           *queueCap,
 		Workers:            *workers,
@@ -78,6 +91,8 @@ func main() {
 		StateDir:           *stateDir,
 		Fsync:              fsync,
 		CheckpointEvery:    *checkpointRounds,
+		CheckpointCommits:  *checkpointCommits,
+		DefaultMode:        defaultMode,
 		Logf:               logger.Printf,
 	})
 	if err != nil {

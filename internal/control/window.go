@@ -1,0 +1,90 @@
+package control
+
+// WindowedEstimator turns a continuous stream of per-task outcomes
+// (commit / abort) into the per-round conflict-ratio samples the
+// controllers consume. The barrier-free executor has no rounds, so the
+// estimator batches outcomes into sliding windows: once Window
+// outcomes have accumulated, Flush returns their aggregate as one
+// pseudo-round observation r = aborts/launched and resets the window.
+//
+// With the window sized to the current in-flight limit m, each sample
+// aggregates m outcomes — statistically the same observation a round
+// of m tasks would produce — so the existing controllers (Hybrid,
+// model-based, PI, …) apply unchanged and converge to the same
+// steady-state allocation as in round mode.
+//
+// Failures (panics, non-conflict errors) are excluded by construction:
+// callers feed only commits and aborts, matching the round path's
+// RoundStats.ConflictRatio semantics where an injected panic is not
+// contention.
+//
+// The estimator is not goroutine-safe; the async engine guards it with
+// its own mutex.
+type WindowedEstimator struct {
+	window    int
+	adaptive  bool // Window 0: track the caller's SetWindow (current m)
+	committed int
+	aborted   int
+}
+
+// WindowStats is one flushed window: a pseudo-round observation.
+type WindowStats struct {
+	Launched  int
+	Committed int
+	Aborted   int
+	R         float64 // aborted/launched
+}
+
+// NewWindowedEstimator returns an estimator that aggregates `window`
+// outcomes per sample. window <= 0 selects adaptive mode: the window
+// tracks the value passed to SetWindow (the async engine passes the
+// current in-flight limit, giving round-equivalent samples).
+func NewWindowedEstimator(window int) *WindowedEstimator {
+	e := &WindowedEstimator{window: window}
+	if window <= 0 {
+		e.adaptive = true
+		e.window = 1
+	}
+	return e
+}
+
+// SetWindow updates the window size in adaptive mode (fixed-size
+// estimators ignore it). The new size applies to the window currently
+// accumulating.
+func (e *WindowedEstimator) SetWindow(n int) {
+	if !e.adaptive || n < 1 {
+		return
+	}
+	e.window = n
+}
+
+// Window returns the current window size in outcomes.
+func (e *WindowedEstimator) Window() int { return e.window }
+
+// ObserveCommit records one committed task.
+func (e *WindowedEstimator) ObserveCommit() { e.committed++ }
+
+// ObserveAbort records one conflict abort.
+func (e *WindowedEstimator) ObserveAbort() { e.aborted++ }
+
+// Samples returns the number of outcomes in the accumulating window.
+func (e *WindowedEstimator) Samples() int { return e.committed + e.aborted }
+
+// Ready reports whether a full window has accumulated.
+func (e *WindowedEstimator) Ready() bool { return e.Samples() >= e.window }
+
+// Flush returns the accumulated window as one pseudo-round observation
+// and resets the accumulator. Call only when Ready (a zero-sample
+// flush returns r = 0).
+func (e *WindowedEstimator) Flush() WindowStats {
+	s := WindowStats{
+		Launched:  e.committed + e.aborted,
+		Committed: e.committed,
+		Aborted:   e.aborted,
+	}
+	if s.Launched > 0 {
+		s.R = float64(s.Aborted) / float64(s.Launched)
+	}
+	e.committed, e.aborted = 0, 0
+	return s
+}

@@ -1,0 +1,107 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowedEstimatorFixedWindow(t *testing.T) {
+	e := NewWindowedEstimator(8)
+	for i := 0; i < 6; i++ {
+		e.ObserveCommit()
+	}
+	e.ObserveAbort()
+	if e.Ready() {
+		t.Fatalf("ready after 7/8 outcomes")
+	}
+	e.ObserveAbort()
+	if !e.Ready() {
+		t.Fatalf("not ready after 8/8 outcomes")
+	}
+	s := e.Flush()
+	if s.Launched != 8 || s.Committed != 6 || s.Aborted != 2 {
+		t.Fatalf("flush = %+v, want 8/6/2", s)
+	}
+	if math.Abs(s.R-0.25) > 1e-12 {
+		t.Fatalf("r = %v, want 0.25", s.R)
+	}
+	if e.Samples() != 0 || e.Ready() {
+		t.Fatalf("flush did not reset the window")
+	}
+}
+
+func TestWindowedEstimatorAdaptive(t *testing.T) {
+	e := NewWindowedEstimator(0)
+	if e.Window() != 1 {
+		t.Fatalf("adaptive window starts at %d, want 1", e.Window())
+	}
+	e.SetWindow(4)
+	if e.Window() != 4 {
+		t.Fatalf("SetWindow ignored in adaptive mode")
+	}
+	for i := 0; i < 3; i++ {
+		e.ObserveCommit()
+	}
+	if e.Ready() {
+		t.Fatalf("ready at 3/4")
+	}
+	// Shrinking mid-window applies to the accumulating window.
+	e.SetWindow(2)
+	if !e.Ready() {
+		t.Fatalf("not ready with 3 outcomes and window 2")
+	}
+	s := e.Flush()
+	if s.R != 0 || s.Launched != 3 {
+		t.Fatalf("flush = %+v, want 3 commits r=0", s)
+	}
+	// Invalid sizes are ignored.
+	e.SetWindow(0)
+	if e.Window() != 2 {
+		t.Fatalf("SetWindow(0) changed the window to %d", e.Window())
+	}
+}
+
+func TestWindowedEstimatorFixedIgnoresSetWindow(t *testing.T) {
+	e := NewWindowedEstimator(16)
+	e.SetWindow(2)
+	if e.Window() != 16 {
+		t.Fatalf("fixed-size estimator honored SetWindow: %d", e.Window())
+	}
+}
+
+// TestWindowedEstimatorFeedsController drives a Hybrid controller from
+// windowed samples with a constant conflict ratio and checks it settles
+// the same way a round-mode drive does — the core of the controller-
+// equivalence claim, in miniature and deterministic.
+func TestWindowedEstimatorFeedsController(t *testing.T) {
+	const rho = 0.25
+	drive := func(perSample func(m int) (commits, aborts int)) int {
+		ctrl := NewHybrid(DefaultHybridConfig(rho))
+		est := NewWindowedEstimator(0)
+		for i := 0; i < 400; i++ {
+			m := ctrl.M()
+			est.SetWindow(m)
+			c, a := perSample(m)
+			for j := 0; j < c; j++ {
+				est.ObserveCommit()
+			}
+			for j := 0; j < a; j++ {
+				est.ObserveAbort()
+			}
+			for est.Ready() {
+				ctrl.Observe(est.Flush().R)
+			}
+		}
+		return ctrl.M()
+	}
+	// Constant r = 0.25 exactly at target: both drives must hold steady
+	// at the same m.
+	want := drive(func(m int) (int, int) { return 3 * m / 4, m - 3*m/4 })
+	got := drive(func(m int) (int, int) { return 3 * m / 4, m - 3*m/4 })
+	if got != want {
+		t.Fatalf("windowed drive diverged: %d vs %d", got, want)
+	}
+	if want < 2 {
+		t.Fatalf("controller collapsed to m=%d", want)
+	}
+}

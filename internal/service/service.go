@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/journal"
+	"repro/internal/speculation"
 	"repro/internal/workload"
 )
 
@@ -74,6 +75,18 @@ const (
 	ReasonDegraded   = "degraded" // done, but some tasks were quarantined
 )
 
+// Execution modes for JobSpec.Mode.
+const (
+	// ModeRound runs the paper's synchronous round loop: launch m,
+	// join, observe r, resize.
+	ModeRound = "round"
+	// ModeAsync runs barrier-free: workers continuously pull tasks
+	// through a resizable in-flight semaphore and the controller is fed
+	// by a sliding commit window (pseudo-rounds). Only workloads with
+	// workload.SupportsAsync may run in this mode.
+	ModeAsync = "async"
+)
+
 // States lists every job state (metrics export them all, including
 // zero-valued ones, so dashboards see stable series).
 func States() []State {
@@ -97,9 +110,17 @@ type JobSpec struct {
 	MaxDuration Duration   `json:"max_duration,omitempty"` // wall-clock deadline, checked between rounds (0 = none)
 	TaskRetries int        `json:"task_retries,omitempty"` // retry budget for failed tasks; 0 = server default, -1 = none
 	Fault       *FaultSpec `json:"fault,omitempty"`        // deterministic fault injection ("cc"/"spin" only)
+	// Mode selects the execution mode: "round" (default) or "async"
+	// (barrier-free, "cc"/"spin" only). Empty takes the server default.
+	Mode string `json:"mode,omitempty"`
+	// CommitWindow fixes the async sliding-window size; 0 (default)
+	// tracks the controller's m adaptively. Async mode only.
+	CommitWindow int `json:"commit_window,omitempty"`
 }
 
-// RoundPoint is one recorded round of a job's trajectory.
+// RoundPoint is one recorded round of a job's trajectory. For async
+// jobs a point is one sliding-window sample (a pseudo-round): Round is
+// the sample index and the per-outcome counts are window deltas.
 type RoundPoint struct {
 	Round     int     `json:"round"`
 	M         int     `json:"m"`
@@ -290,6 +311,14 @@ type Config struct {
 	// CheckpointEvery journals a running job's progress every K rounds
 	// (default 32).
 	CheckpointEvery int
+	// CheckpointCommits journals a running async job's progress every K
+	// commits (default 2048) — async jobs checkpoint on the absolute
+	// commit counter rather than on round count.
+	CheckpointCommits int
+	// DefaultMode is the execution mode when spec.Mode is empty
+	// (default ModeRound). A DefaultMode of ModeAsync applies only to
+	// workloads that support it; the rest fall back to rounds.
+	DefaultMode string
 	// CompactBytes triggers snapshot compaction once live journal
 	// segments exceed this size (default 4 MiB).
 	CompactBytes int64
@@ -322,6 +351,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 32
+	}
+	if c.CheckpointCommits <= 0 {
+		c.CheckpointCommits = 2048
+	}
+	if c.DefaultMode == "" {
+		c.DefaultMode = ModeRound
 	}
 	if c.CompactBytes <= 0 {
 		c.CompactBytes = 4 << 20
@@ -491,6 +526,29 @@ func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
 		if err := spec.Fault.config(spec.Seed).Validate(); err != nil {
 			return spec, specErrf("bad fault spec: %v", err)
 		}
+	}
+	switch spec.Mode {
+	case "":
+		// Server default, but barrier-free execution only where the
+		// workload supports it — the rest keep the round loop.
+		if s.cfg.DefaultMode == ModeAsync && workload.SupportsAsync(spec.Workload) {
+			spec.Mode = ModeAsync
+		} else {
+			spec.Mode = ModeRound
+		}
+	case ModeRound:
+	case ModeAsync:
+		if !workload.SupportsAsync(spec.Workload) {
+			return spec, specErrf("workload %q does not support async execution (only cc, spin)", spec.Workload)
+		}
+	default:
+		return spec, specErrf("unknown mode %q (have %q, %q)", spec.Mode, ModeRound, ModeAsync)
+	}
+	if spec.CommitWindow < 0 || spec.CommitWindow > 1<<16 {
+		return spec, specErrf("commit_window %d out of [0,%d]", spec.CommitWindow, 1<<16)
+	}
+	if spec.CommitWindow > 0 && spec.Mode != ModeAsync {
+		return spec, specErrf("commit_window requires mode %q", ModeAsync)
 	}
 	return spec, nil
 }
@@ -781,6 +839,11 @@ func (s *Service) runJob(j *job) {
 		j.mu.Unlock()
 	}
 
+	if spec.Mode == ModeAsync {
+		s.runAsyncJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, &delta)
+		return
+	}
+
 	telemetry, _ := ctrl.(control.Telemetry)
 	round := 0
 	for ; round < spec.MaxRounds && run.Stepper.Pending() > 0; round++ {
@@ -831,9 +894,84 @@ func (s *Service) runJob(j *job) {
 		}
 	}
 
+	s.finishDrained(j, id, spec, run, round)
+}
+
+// runAsyncJob drains one job barrier-free: the stepper's RunAsync drive
+// owns the in-flight semaphore and the sliding-window estimator, and
+// every flushed window lands here as one trajectory pseudo-round.
+// Durability checkpoints trigger on the absolute commit counter
+// (Config.CheckpointCommits) instead of on round count.
+func (s *Service) runAsyncJob(j *job, id string, attempt int, spec JobSpec, run *workload.Run,
+	ctrl control.Controller, ctx context.Context, cancelJob func(reason, errMsg string), delta *[]RoundPoint) {
+	as, ok := run.Stepper.(workload.AsyncStepper)
+	if !ok {
+		s.failJob(j, id, fmt.Errorf("workload %q stepper cannot run barrier-free", spec.Workload))
+		return
+	}
+	var lastCkpt int64 // absolute commit counter at the last checkpoint
+	res := as.RunAsync(ctx, ctrl, speculation.AsyncOptions{
+		Window:     spec.CommitWindow,
+		MaxSamples: spec.MaxRounds,
+		OnSample: func(sm speculation.AsyncSample) {
+			p := RoundPoint{
+				Round: sm.Sample, M: sm.M,
+				Launched: sm.Launched, Committed: sm.Committed, Aborted: sm.Aborted,
+				Failed: sm.Failed, Poisoned: sm.Poisoned, R: sm.R,
+			}
+			if attempt > 1 {
+				p.Attempt = attempt
+			}
+			j.record(p, run.Stepper.Pending(), sm.Counters)
+			if s.jnl != nil {
+				*delta = append(*delta, p)
+				if sm.TotalCommitted-lastCkpt >= int64(s.cfg.CheckpointCommits) {
+					s.journalCheckpoint(j, *delta)
+					*delta = (*delta)[:0]
+					lastCkpt = sm.TotalCommitted
+				}
+			}
+		},
+	})
+	if res.Canceled {
+		// Same reason precedence as the round loop: user cancel, then
+		// shutdown, then the deadline carried by ctx.
+		select {
+		case <-j.cancelCh:
+			j.mu.Lock()
+			reason := j.cancelReason
+			j.mu.Unlock()
+			cancelJob(reason, fmt.Sprintf("canceled after %d commits", res.Committed))
+			s.cfg.Logf("specd: job %s canceled after %d commits (in-flight tasks settled)", id, res.Committed)
+		default:
+			select {
+			case <-s.stop:
+				cancelJob(ReasonShutdown, fmt.Sprintf("interrupted by shutdown after %d commits", res.Committed))
+				s.cfg.Logf("specd: job %s interrupted after %d commits (in-flight tasks settled)", id, res.Committed)
+			default:
+				cancelJob(ReasonDeadline, fmt.Sprintf("deadline %v exceeded after %d commits",
+					time.Duration(spec.MaxDuration), res.Committed))
+				s.cfg.Logf("specd: job %s hit its %v deadline after %d commits",
+					id, time.Duration(spec.MaxDuration), res.Committed)
+			}
+		}
+		return
+	}
+	s.finishDrained(j, id, spec, run, res.Samples)
+}
+
+// finishDrained is the shared post-drive tail for both execution modes:
+// cap failure when work is left, degraded completion when tasks were
+// quarantined, and oracle verification otherwise. progress is the round
+// count (round mode) or sample count (async).
+func (s *Service) finishDrained(j *job, id string, spec JobSpec, run *workload.Run, progress int) {
+	unit := "round"
+	if spec.Mode == ModeAsync {
+		unit = "sample"
+	}
 	if run.Stepper.Pending() > 0 {
-		s.failJob(j, id, fmt.Errorf("round cap %d reached with %d tasks pending",
-			spec.MaxRounds, run.Stepper.Pending()))
+		s.failJob(j, id, fmt.Errorf("%s cap %d reached with %d tasks pending",
+			unit, spec.MaxRounds, run.Stepper.Pending()))
 		return
 	}
 	snap := run.Stepper.Snapshot()
@@ -847,7 +985,7 @@ func (s *Service) runJob(j *job) {
 		j.status.Reason = ReasonDegraded
 		j.mu.Unlock()
 		j.setState(StateDone)
-		s.cfg.Logf("specd: job %s done (degraded) after %d rounds: %d poisoned", id, round, snap.Poisoned)
+		s.cfg.Logf("specd: job %s done (degraded) after %d %ss: %d poisoned", id, progress, unit, snap.Poisoned)
 		return
 	}
 	detail, err := run.Verify()
@@ -859,7 +997,7 @@ func (s *Service) runJob(j *job) {
 	j.status.Result = detail
 	j.mu.Unlock()
 	j.setState(StateDone)
-	s.cfg.Logf("specd: job %s done after %d rounds: %s", id, round, detail)
+	s.cfg.Logf("specd: job %s done after %d %ss: %s", id, progress, unit, detail)
 }
 
 func (s *Service) failJob(j *job, id string, err error) {

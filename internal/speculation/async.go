@@ -1,0 +1,537 @@
+package speculation
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/control"
+)
+
+// This file implements the barrier-free execution mode: persistent
+// workers continuously pull, execute, and settle tasks with no global
+// round join. The controller's m becomes a resizable semaphore on
+// in-flight tasks, and the paper's Algorithm 1 recurrences are driven
+// by a sliding window of recent commit/abort outcomes (a pseudo-round)
+// instead of per-round statistics. The synchronous Round path is
+// untouched — RunAsync is a separate drive over the same executor,
+// task table, locks, and failure taxonomy.
+//
+// The sliding window is a *pseudo-round*: a committed task keeps its
+// item locks, and its OnCommit actions are deferred, until the window
+// boundary — exactly what the round barrier does for a round, without
+// making any worker wait. This preserves the model's intra-round
+// conflict semantics ("a task aborts iff it conflicts with a task that
+// committed before it") at window granularity, which is what makes the
+// windowed conflict ratio statistically equivalent to the per-round
+// ratio and lets the existing controllers run unchanged. Commit
+// actions run serially, in commit order, before the locks release —
+// so a successful Acquire still implies post-commit-action state, as
+// in round mode. One async-specific caveat: a committed task's spawns
+// enter the work-set immediately and may execute before the parent's
+// commit actions run at the boundary; the async-enabled workloads
+// ("cc", "spin") have no such dependence.
+
+// DefaultMaxInFlight caps the in-flight semaphore when AsyncOptions
+// leaves MaxInFlight zero. It matches the hybrid controller's default
+// MMax, so the controller, not the cap, is normally the binding limit.
+const DefaultMaxInFlight = 1024
+
+// asyncTakeBatch bounds how many handles a worker pulls from the
+// work-set per refill, amortizing work-set locking without letting one
+// worker hoard the queue.
+const asyncTakeBatch = 8
+
+// AsyncOptions configures a RunAsync drive.
+type AsyncOptions struct {
+	// Window is the sliding-window size in settled outcomes per
+	// controller observation. 0 (the default) is adaptive: the window
+	// tracks the current in-flight limit m, so each observation
+	// aggregates m outcomes — statistically the round the controller
+	// was designed for.
+	Window int
+	// MaxInFlight caps the in-flight semaphore regardless of the
+	// controller's request. 0 = DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxCommits stops the drive once this many tasks have committed
+	// (0 = run until the work-set drains). In-flight tasks still
+	// settle, so the final count may slightly exceed the bound.
+	MaxCommits int64
+	// MaxSamples stops the drive after this many window samples
+	// (0 = unlimited) — the async analogue of a maxRounds bound.
+	MaxSamples int
+	// OnSample, when non-nil, receives every window sample in order,
+	// from the RunAsync goroutine (never a worker), so it may block
+	// (e.g. on a journal write) without stalling execution.
+	OnSample func(AsyncSample)
+}
+
+// AsyncSample is one sliding-window observation: the async analogue of
+// a round's RoundStats, plus the controller state it produced.
+type AsyncSample struct {
+	Sample    int     // 0-based sample index
+	M         int     // in-flight limit after this observation
+	Launched  int     // outcomes settled in the window (incl. failures)
+	Committed int     // commits in the window
+	Aborted   int     // conflict aborts in the window
+	Failed    int     // failed attempts in the window
+	Poisoned  int     // tasks quarantined in the window
+	R         float64 // windowed conflict ratio fed to the controller
+	// TotalCommitted is the cumulative commit count at the window
+	// boundary — the absolute counter checkpoint-on-commit durability
+	// records.
+	TotalCommitted int64
+	// InFlight is the number of tasks in flight at the boundary.
+	InFlight int
+	// Counters is the controller's Telemetry snapshot, when exposed.
+	Counters map[string]int
+}
+
+// ConflictRatio returns the window's commit/abort conflict ratio — the
+// value the controller observed (failures excluded, as in rounds).
+func (s AsyncSample) ConflictRatio() float64 { return s.R }
+
+// AsyncResult summarizes a RunAsync drive.
+type AsyncResult struct {
+	Samples   int  // window samples observed
+	Canceled  bool // the context was canceled before the work-set drained
+	Launched  int64
+	Committed int64
+	Aborted   int64
+	Failed    int64
+	Poisoned  int64
+	Spawned   int64
+	// Trajectory is every window sample in order (also streamed through
+	// OnSample).
+	Trajectory []AsyncSample
+}
+
+// asyncOutcome is one settled attempt, carried from the worker's
+// execution to the engine's window accounting.
+type asyncOutcome struct {
+	committed bool
+	aborted   bool
+	failed    bool
+	poisoned  bool
+	spawned   int
+	locks     []*Item  // committed task's items, held to the boundary
+	actions   []func() // committed task's deferred commit actions
+}
+
+// asyncRun is the engine state for one RunAsync drive. One mutex
+// guards everything; two conds separate the waiters: workers wait on
+// cond for a semaphore slot plus work, the sample-delivery loop waits
+// on sampleCond.
+type asyncRun struct {
+	e      *Executor
+	ctrl   control.Controller
+	opts   AsyncOptions
+	budget int
+
+	mu         sync.Mutex
+	cond       *sync.Cond // workers: slot and/or work may be available
+	sampleCond *sync.Cond // observer: samples queued or run stopped
+
+	est      *control.WindowedEstimator
+	adaptive bool // window tracks the in-flight limit
+
+	limit    int     // current in-flight cap (resizable semaphore)
+	maxLimit int     // hard cap from MaxInFlight
+	inflight int     // attempts currently executing
+	workers  int     // worker goroutines spawned (grows to limit)
+	buf      []int64 // handles pulled from the work-set, not yet started
+
+	stopped  bool // no new work may start
+	canceled bool // stop was a context cancellation
+
+	// Run totals and per-window tallies.
+	launched, commits, aborted, failed, poisoned, spawned int64
+	winLaunched, winCommitted, winAborted                 int
+	winFailed, winPoisoned                                int
+
+	// Pseudo-round state: locks held and commit actions deferred by the
+	// window's committed tasks, settled at the boundary (actions run in
+	// commit order, then locks release).
+	held    []*Item
+	actions []func()
+
+	sampleCount int
+	queue       []AsyncSample // flushed samples awaiting ordered delivery
+
+	wg sync.WaitGroup
+}
+
+// RunAsync drives the executor barrier-free under controller ctrl
+// until the work-set drains, the context is canceled, or an
+// AsyncOptions bound is hit. It must not run concurrently with Round
+// or another RunAsync on the same executor (the round scratch and
+// selection state are single-driver, like Round itself); Add and the
+// statistics accessors remain safe to call concurrently.
+//
+// MaxParallel is ignored: concurrency is the controller's in-flight
+// limit, served by lazily spawned workers (one per unit of limit).
+func (e *Executor) RunAsync(ctx context.Context, ctrl control.Controller, opts AsyncOptions) *AsyncResult {
+	a := &asyncRun{
+		e:        e,
+		ctrl:     ctrl,
+		opts:     opts,
+		budget:   e.retryBudget(),
+		adaptive: opts.Window <= 0,
+		est:      control.NewWindowedEstimator(opts.Window),
+		maxLimit: opts.MaxInFlight,
+	}
+	if a.maxLimit <= 0 {
+		a.maxLimit = DefaultMaxInFlight
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.sampleCond = sync.NewCond(&a.mu)
+
+	a.mu.Lock()
+	a.setLimitLocked(ctrl.M())
+	a.mu.Unlock()
+
+	// Context watcher: a cancellation stops new work immediately;
+	// in-flight attempts settle normally (they hold item locks that
+	// must be released through the usual paths).
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			if !a.stopped {
+				a.finishLocked(true)
+			}
+			a.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	res := &AsyncResult{}
+	a.deliver(res) // returns once stopped and the sample queue is drained
+	a.wg.Wait()    // workers have settled every in-flight attempt
+	close(watchDone)
+	watchWG.Wait()
+
+	// Final partial window: round mode observes its last (partial)
+	// round, so the async drive does too — unless canceled, where the
+	// tail is an artifact of the stop, not of the workload.
+	a.mu.Lock()
+	if !a.canceled && a.est.Samples() > 0 {
+		a.flushSampleLocked()
+	}
+	// Commits that landed after a stop (or in a canceled run's final
+	// partial window) must still settle: their effects are committed,
+	// only their actions and lock releases were deferred.
+	a.settleWindowLocked()
+	for _, s := range a.queue {
+		res.Trajectory = append(res.Trajectory, s)
+		if a.opts.OnSample != nil {
+			a.opts.OnSample(s)
+		}
+	}
+	a.queue = nil
+	res.Samples = a.sampleCount
+	res.Canceled = a.canceled
+	res.Launched = a.launched
+	res.Committed = a.commits
+	res.Aborted = a.aborted
+	res.Failed = a.failed
+	res.Poisoned = a.poisoned
+	res.Spawned = a.spawned
+	a.mu.Unlock()
+	return res
+}
+
+// setLimitLocked resizes the in-flight semaphore to the controller's
+// request, clamped to [1, maxLimit], resizes the adaptive window, and
+// lazily spawns workers up to the new limit. Callers hold a.mu.
+func (a *asyncRun) setLimitLocked(m int) {
+	m = control.Clamp(m, 1, a.maxLimit)
+	grew := m > a.limit
+	a.limit = m
+	if a.adaptive {
+		a.est.SetWindow(m)
+	}
+	for a.workers < a.limit {
+		a.workers++
+		a.wg.Add(1)
+		go a.worker()
+	}
+	if grew {
+		// Raised limit frees semaphore slots: every parked worker must
+		// recheck, not just one.
+		a.cond.Broadcast()
+	}
+}
+
+// worker continuously claims a semaphore slot plus a task handle and
+// executes it. Workers exit when the run stops or the work drains.
+func (a *asyncRun) worker() {
+	defer a.wg.Done()
+	for {
+		h, ok := a.next()
+		if !ok {
+			return
+		}
+		a.runTask(h)
+	}
+}
+
+// next blocks until the run stops (ok=false) or a semaphore slot and a
+// task handle are both available. Drain detection: nothing buffered,
+// nothing in the work-set, nothing in flight that could requeue work.
+func (a *asyncRun) next() (int64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if a.stopped {
+			return 0, false
+		}
+		if a.inflight < a.limit {
+			if len(a.buf) == 0 {
+				want := a.limit - a.inflight
+				if want > asyncTakeBatch {
+					want = asyncTakeBatch
+				}
+				a.buf = a.e.take(want)
+			}
+			if len(a.buf) > 0 {
+				h := a.buf[len(a.buf)-1]
+				a.buf = a.buf[:len(a.buf)-1]
+				a.inflight++
+				if len(a.buf) > 0 && a.inflight < a.limit {
+					// More buffered work and a free slot: chain the wakeup
+					// so one completion signal fans out to all the work it
+					// uncovered.
+					a.cond.Signal()
+				}
+				return h, true
+			}
+			if a.inflight == 0 {
+				a.finishLocked(false)
+				return 0, false
+			}
+		}
+		a.cond.Wait()
+	}
+}
+
+// finishLocked stops the run: parked workers and the delivery loop are
+// released, and claimed-but-unstarted handles go back to the work-set
+// so the executor's pending state is consistent. Callers hold a.mu.
+func (a *asyncRun) finishLocked(canceled bool) {
+	a.stopped = true
+	a.canceled = a.canceled || canceled
+	if len(a.buf) > 0 {
+		a.e.requeueAll(a.buf)
+		a.buf = nil
+	}
+	a.cond.Broadcast()
+	a.sampleCond.Broadcast()
+}
+
+// runTask executes one attempt of handle h and settles it through the
+// shared failure taxonomy: commit, conflict abort (requeue), failure
+// (budget), or poison (quarantine). Mirrors Round's accounting loop,
+// one task at a time.
+func (a *asyncRun) runTask(h int64) {
+	e := a.e
+	task := e.tasks.load(h)
+	if task == nil {
+		// Stale handle (defensive): nothing to run.
+		a.complete(asyncOutcome{})
+		return
+	}
+	ctx := ctxPool.Get().(*Ctx)
+	ctx.id = e.nextID.Add(1) - 1
+	err := runGuarded(task, ctx)
+	var out asyncOutcome
+	switch {
+	case err == nil:
+		// Commit: retire the handle and enqueue spawns now; the item
+		// locks stay held and the commit actions wait for the window
+		// boundary (see the file comment). The lock and action slices
+		// are copied out so the Ctx can be scrubbed and pooled.
+		if len(ctx.acquired) > 0 {
+			out.locks = append([]*Item(nil), ctx.acquired...)
+			ctx.acquired = ctx.acquired[:0]
+		}
+		if len(ctx.onCommit) > 0 {
+			out.actions = append([]func(){}, ctx.onCommit...)
+		}
+		e.tasks.delete(h)
+		e.clearFailure(h)
+		if len(ctx.spawned) > 0 {
+			wrap := e.WrapTask
+			ids := make([]int64, 0, len(ctx.spawned))
+			for _, t := range ctx.spawned {
+				if wrap != nil {
+					t = wrap(t)
+				}
+				id := e.nextID.Add(1) - 1
+				e.tasks.store(id, t)
+				ids = append(ids, id)
+			}
+			e.requeueAll(ids)
+			out.spawned = len(ids)
+		}
+		out.committed = true
+		e.addTotals(1, 1, 0, 0, 0)
+	case errors.Is(err, ErrConflict):
+		ctx.rollback()
+		ctx.release()
+		e.requeueOne(h)
+		out.aborted = true
+		e.addTotals(1, 0, 1, 0, 0)
+	default:
+		ctx.rollback()
+		ctx.release()
+		out.failed = true
+		if _, poisoned := e.noteFailure(h, a.budget, err.Error()); poisoned {
+			e.tasks.delete(h)
+			out.poisoned = true
+			e.addTotals(1, 0, 0, 1, 1)
+		} else {
+			e.requeueOne(h)
+			e.addTotals(1, 0, 0, 1, 0)
+		}
+	}
+	ctx.scrub()
+	ctxPool.Put(ctx)
+	a.complete(out)
+}
+
+// complete settles one attempt's outcome into the run totals and the
+// sliding window, observing the controller at window boundaries.
+func (a *asyncRun) complete(out asyncOutcome) {
+	a.mu.Lock()
+	a.inflight--
+	a.launched++
+	a.spawned += int64(out.spawned)
+	a.winLaunched++
+	switch {
+	case out.committed:
+		a.commits++
+		a.winCommitted++
+		a.held = append(a.held, out.locks...)
+		a.actions = append(a.actions, out.actions...)
+		a.est.ObserveCommit()
+	case out.aborted:
+		a.aborted++
+		a.winAborted++
+		a.est.ObserveAbort()
+	case out.failed:
+		// Failures never reach the estimator: an injected panic is not
+		// contention (same exclusion as RoundStats.ConflictRatio), and a
+		// quarantined task must not depress the windowed ratio either.
+		a.failed++
+		a.winFailed++
+		if out.poisoned {
+			a.poisoned++
+			a.winPoisoned++
+		}
+	}
+	if !a.stopped {
+		if a.opts.MaxCommits > 0 && a.commits >= a.opts.MaxCommits {
+			a.finishLocked(false)
+		} else if a.est.Ready() {
+			a.flushSampleLocked()
+			if a.opts.MaxSamples > 0 && a.sampleCount >= a.opts.MaxSamples {
+				a.finishLocked(false)
+			}
+		}
+	}
+	a.cond.Signal()
+	a.mu.Unlock()
+}
+
+// settleWindowLocked ends the pseudo-round: the window's deferred
+// commit actions run serially in commit order, then the committed
+// tasks' locks release. Callers hold a.mu; the actions may block on
+// workload locks (never on a.mu — nothing re-enters the engine), so
+// in-flight tasks keep executing meanwhile, exactly as round-mode
+// tasks of the *next* round would after the barrier.
+func (a *asyncRun) settleWindowLocked() {
+	for _, fn := range a.actions {
+		fn()
+	}
+	a.actions = a.actions[:0]
+	for _, it := range a.held {
+		it.owner.Store(noOwner)
+	}
+	a.held = a.held[:0]
+}
+
+// flushSampleLocked closes the current window: deferred commits
+// settle, the controller observes the window's conflict ratio, the
+// semaphore resizes to the controller's new m, and the sample is
+// queued for ordered delivery. Callers hold a.mu.
+func (a *asyncRun) flushSampleLocked() {
+	a.settleWindowLocked()
+	ws := a.est.Flush()
+	a.ctrl.Observe(ws.R)
+	a.setLimitLocked(a.ctrl.M())
+	s := AsyncSample{
+		Sample:         a.sampleCount,
+		M:              a.limit,
+		Launched:       a.winLaunched,
+		Committed:      a.winCommitted,
+		Aborted:        a.winAborted,
+		Failed:         a.winFailed,
+		Poisoned:       a.winPoisoned,
+		R:              ws.R,
+		TotalCommitted: a.commits,
+		InFlight:       a.inflight,
+	}
+	// The controller is single-driver and a.mu is that driver's lock,
+	// so reading Telemetry here is race-free; the map is fresh per call.
+	if t, ok := a.ctrl.(control.Telemetry); ok {
+		s.Counters = t.Counters()
+	}
+	a.sampleCount++
+	a.winLaunched, a.winCommitted, a.winAborted = 0, 0, 0
+	a.winFailed, a.winPoisoned = 0, 0
+	a.queue = append(a.queue, s)
+	a.sampleCond.Signal()
+}
+
+// deliver streams queued samples, in order, to the result trajectory
+// and the OnSample callback from the RunAsync goroutine. Returns when
+// the run has stopped and the queue is empty; any sample flushed after
+// that (the final partial window) is delivered by RunAsync itself.
+func (a *asyncRun) deliver(res *AsyncResult) {
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.stopped {
+			a.sampleCond.Wait()
+		}
+		batch := a.queue
+		a.queue = nil
+		stopped := a.stopped
+		a.mu.Unlock()
+		for _, s := range batch {
+			res.Trajectory = append(res.Trajectory, s)
+			if a.opts.OnSample != nil {
+				a.opts.OnSample(s)
+			}
+		}
+		if stopped && len(batch) == 0 {
+			return
+		}
+	}
+}
+
+// requeueOne returns a single handle to the work-set (the async
+// settle path; rounds use the batched requeueAll).
+func (e *Executor) requeueOne(h int64) {
+	if e.ws != nil {
+		e.ws.Put(h)
+		return
+	}
+	e.mu.Lock()
+	e.pending = append(e.pending, h)
+	e.mu.Unlock()
+}

@@ -1,11 +1,14 @@
 package speculation
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/control"
 	"repro/internal/workset"
 )
 
@@ -68,6 +71,65 @@ func BenchmarkExecutorRound(b *testing.B) {
 			benchRound(b, cfg.m, cfg.par, cfg.work)
 		})
 	}
+}
+
+// benchStragglerTasks enqueues n conflict-free tasks with a
+// high-variance cost distribution: every stragglerEvery-th task blocks
+// for stragglerSleep (an I/O-ish long-tail operator), the rest do a
+// short ALU spin. In round mode the whole round joins on its slowest
+// straggler; barrier-free execution lets the fast tasks flow past.
+const (
+	stragglerEvery = 16
+	stragglerSleep = 400 * time.Microsecond
+	stragglerM     = 64
+)
+
+func benchStragglerTasks(e *Executor, n int) {
+	fast := spinTask(200)
+	slow := TaskFunc(func(ctx *Ctx) error {
+		time.Sleep(stragglerSleep)
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		if i%stragglerEvery == 0 {
+			e.Add(slow)
+		} else {
+			e.Add(fast)
+		}
+	}
+}
+
+// BenchmarkExecutorAsync compares round-barrier and barrier-free
+// execution on the straggler workload at the same concurrency budget
+// (m = 64, fixed). One benchmark op is one committed task, so ns/op is
+// directly comparable across the two sub-benchmarks — the async/round
+// ratio is the round-tail idle time the barrier costs.
+func BenchmarkExecutorAsync(b *testing.B) {
+	b.Run("straggler/round", func(b *testing.B) {
+		e := NewExecutor(nil)
+		e.MaxParallel = stragglerM
+		benchStragglerTasks(e, b.N)
+		b.ResetTimer()
+		for e.Pending() > 0 {
+			e.Round(stragglerM)
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "tasks/sec")
+		}
+		e.Close()
+	})
+	b.Run("straggler/async", func(b *testing.B) {
+		e := NewExecutor(nil)
+		benchStragglerTasks(e, b.N)
+		b.ResetTimer()
+		e.RunAsync(context.Background(), control.Fixed{Procs: stragglerM}, AsyncOptions{})
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "tasks/sec")
+		}
+		e.Close()
+	})
 }
 
 // BenchmarkExecutorRoundWorkset measures the abort/requeue path: all

@@ -174,15 +174,14 @@ type OrderedExecutor struct {
 
 	pool *workerPool
 
-	totalLaunched  atomic.Int64
-	totalCommitted atomic.Int64
+	// accounting holds the shared counters and quarantine; the ordered
+	// executor folds conflicts + premature into its Aborted total so
+	// the promoted accessors (TotalAborted, OverallConflictRatio, …)
+	// report the same wasted-work notion as the round stats.
+	accounting
+
 	totalConflicts atomic.Int64
 	totalPremature atomic.Int64
-	totalFailed    atomic.Int64
-	totalPoisoned  atomic.Int64
-
-	poisonMu sync.Mutex
-	poisoned []FailureRecord
 }
 
 // NewOrderedExecutor returns an empty ordered executor.
@@ -203,21 +202,8 @@ func (e *OrderedExecutor) Close() {
 // counters in one race-safe call. Aborted counts both failure modes
 // (conflicts + premature executions), matching OverallConflictRatio.
 func (e *OrderedExecutor) Snapshot() Snapshot {
-	return Snapshot{
-		Pending:   e.Pending(),
-		Launched:  e.totalLaunched.Load(),
-		Committed: e.totalCommitted.Load(),
-		Aborted:   e.totalConflicts.Load() + e.totalPremature.Load(),
-		Failed:    e.totalFailed.Load(),
-		Poisoned:  e.totalPoisoned.Load(),
-	}
+	return e.accounting.snapshot(e.Pending())
 }
-
-// TotalLaunched returns the cumulative number of launched attempts.
-func (e *OrderedExecutor) TotalLaunched() int64 { return e.totalLaunched.Load() }
-
-// TotalCommitted returns the cumulative number of committed tasks.
-func (e *OrderedExecutor) TotalCommitted() int64 { return e.totalCommitted.Load() }
 
 // TotalConflicts returns the cumulative count of same-round item
 // conflicts.
@@ -227,31 +213,8 @@ func (e *OrderedExecutor) TotalConflicts() int64 { return e.totalConflicts.Load(
 // (tasks that ran ahead of newly spawned earlier work).
 func (e *OrderedExecutor) TotalPremature() int64 { return e.totalPremature.Load() }
 
-// TotalFailed returns the cumulative number of failed attempts.
-func (e *OrderedExecutor) TotalFailed() int64 { return e.totalFailed.Load() }
-
-// TotalPoisoned returns the number of quarantined tasks.
-func (e *OrderedExecutor) TotalPoisoned() int64 { return e.totalPoisoned.Load() }
-
-// PoisonedTasks returns a copy of the quarantine. Ordered tasks have no
-// stable handle, so Handle is -1 and Err carries the key.
-func (e *OrderedExecutor) PoisonedTasks() []FailureRecord {
-	e.poisonMu.Lock()
-	defer e.poisonMu.Unlock()
-	return append([]FailureRecord(nil), e.poisoned...)
-}
-
 // retryBudget resolves TaskRetries exactly like Executor.retryBudget.
-func (e *OrderedExecutor) retryBudget() int {
-	switch {
-	case e.TaskRetries < 0:
-		return 0
-	case e.TaskRetries == 0:
-		return DefaultTaskRetries
-	default:
-		return e.TaskRetries
-	}
-}
+func (e *OrderedExecutor) retryBudget() int { return resolveRetryBudget(e.TaskRetries) }
 
 // Add inserts a task.
 func (e *OrderedExecutor) Add(t OrderedTask) {
@@ -365,13 +328,11 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 			rt.fails++
 			if rt.fails > budget {
 				stats.Poisoned++
-				e.poisonMu.Lock()
-				e.poisoned = append(e.poisoned, FailureRecord{
+				e.quarantine(FailureRecord{
 					Handle:   -1,
 					Attempts: rt.fails,
 					Err:      fmt.Sprintf("key=%+v: %v", t.Key(), err),
 				})
-				e.poisonMu.Unlock()
 			} else {
 				requeue = append(requeue, rt)
 			}
@@ -431,20 +392,9 @@ func (e *OrderedExecutor) Round(m int) OrderedRoundStats {
 		heap.Push(&e.pending, t)
 	}
 	e.mu.Unlock()
-	e.totalLaunched.Add(int64(stats.Launched))
-	e.totalCommitted.Add(int64(stats.Committed))
 	e.totalConflicts.Add(int64(stats.Conflicts))
 	e.totalPremature.Add(int64(stats.Premature))
-	e.totalFailed.Add(int64(stats.Failed))
-	e.totalPoisoned.Add(int64(stats.Poisoned))
+	e.addTotals(int64(stats.Launched), int64(stats.Committed),
+		int64(stats.Aborted()), int64(stats.Failed), int64(stats.Poisoned))
 	return stats
-}
-
-// OverallConflictRatio returns cumulative wasted work per launch.
-func (e *OrderedExecutor) OverallConflictRatio() float64 {
-	l := e.totalLaunched.Load()
-	if l == 0 {
-		return 0
-	}
-	return float64(e.totalConflicts.Load()+e.totalPremature.Load()) / float64(l)
 }

@@ -312,6 +312,15 @@ func (t *taskTable) load(h int64) Task {
 	return task
 }
 
+// delete removes a single handle (the async path settles tasks one at
+// a time; the round path uses deleteBatch).
+func (t *taskTable) delete(h int64) {
+	s := t.shard(h)
+	s.mu.Lock()
+	delete(s.m, h)
+	s.mu.Unlock()
+}
+
 // shardBuckets is per-round scratch grouping round indices by shard so
 // batch operations take each shard lock once instead of once per task.
 type shardBuckets [numTaskShards][]int32
@@ -445,13 +454,11 @@ type Executor struct {
 	pending []int64         // task handles awaiting execution
 	randTk  func(n int) int // selection policy: nil = take from tail
 
-	// Cumulative counters across rounds (atomic: Round writes them while
-	// monitors may read concurrently).
-	totalLaunched  atomic.Int64
-	totalCommitted atomic.Int64
-	totalAborted   atomic.Int64
-	totalFailed    atomic.Int64
-	totalPoisoned  atomic.Int64
+	// accounting holds the cumulative counters, failure budget, and
+	// poison quarantine shared with the ordered executor; its exported
+	// accessors (TotalLaunched, PoisonedTasks, OverallConflictRatio, …)
+	// are promoted onto Executor.
+	accounting
 
 	// MaxParallel sets the size of the persistent worker pool serving
 	// rounds; 0 means "one goroutine per task", faithfully simulating
@@ -470,15 +477,6 @@ type Executor struct {
 	// harnesses use. Set it before the executor is shared across
 	// goroutines.
 	WrapTask func(Task) Task
-
-	// failures tracks failed-attempt counts by handle. Round is the only
-	// writer and reader, so no lock; the map stays empty (nil) until the
-	// first failure, keeping the healthy hot path untouched.
-	failures map[int64]int
-
-	// poisonMu guards poisoned, which monitors may read mid-run.
-	poisonMu sync.Mutex
-	poisoned []FailureRecord
 
 	pool *workerPool
 
@@ -588,53 +586,11 @@ func (s Snapshot) ConflictRatio() float64 {
 // polling mid-run) should use instead of stitching together Pending and
 // the Total* methods.
 func (e *Executor) Snapshot() Snapshot {
-	return Snapshot{
-		Pending:   e.Pending(),
-		Launched:  e.totalLaunched.Load(),
-		Committed: e.totalCommitted.Load(),
-		Aborted:   e.totalAborted.Load(),
-		Failed:    e.totalFailed.Load(),
-		Poisoned:  e.totalPoisoned.Load(),
-	}
-}
-
-// TotalLaunched returns the cumulative number of launched attempts.
-func (e *Executor) TotalLaunched() int64 { return e.totalLaunched.Load() }
-
-// TotalCommitted returns the cumulative number of committed tasks.
-func (e *Executor) TotalCommitted() int64 { return e.totalCommitted.Load() }
-
-// TotalAborted returns the cumulative number of aborted attempts.
-func (e *Executor) TotalAborted() int64 { return e.totalAborted.Load() }
-
-// TotalFailed returns the cumulative number of failed attempts (panics
-// and non-conflict errors).
-func (e *Executor) TotalFailed() int64 { return e.totalFailed.Load() }
-
-// TotalPoisoned returns the number of tasks quarantined after
-// exhausting their retry budget.
-func (e *Executor) TotalPoisoned() int64 { return e.totalPoisoned.Load() }
-
-// PoisonedTasks returns a copy of the quarantine: one record per task
-// that exhausted its failure budget, in poisoning order. Safe to call
-// concurrently with Round.
-func (e *Executor) PoisonedTasks() []FailureRecord {
-	e.poisonMu.Lock()
-	defer e.poisonMu.Unlock()
-	return append([]FailureRecord(nil), e.poisoned...)
+	return e.accounting.snapshot(e.Pending())
 }
 
 // retryBudget resolves TaskRetries to the effective failure budget.
-func (e *Executor) retryBudget() int {
-	switch {
-	case e.TaskRetries < 0:
-		return 0
-	case e.TaskRetries == 0:
-		return DefaultTaskRetries
-	default:
-		return e.TaskRetries
-	}
-}
+func (e *Executor) retryBudget() int { return resolveRetryBudget(e.TaskRetries) }
 
 // Add inserts a task into the work-set.
 func (e *Executor) Add(t Task) {
@@ -788,29 +744,17 @@ func (e *Executor) Round(m int) RoundStats {
 			// already rolled back; spend retry budget or quarantine.
 			stats.Failed++
 			h := handles[i]
-			if e.failures == nil {
-				e.failures = make(map[int64]int)
-			}
-			e.failures[h]++
-			if attempts := e.failures[h]; attempts > budget {
+			if _, poisoned := e.noteFailure(h, budget, err.Error()); poisoned {
 				stats.Poisoned++
-				delete(e.failures, h)
 				poisonHandles = append(poisonHandles, h)
-				e.poisonMu.Lock()
-				e.poisoned = append(e.poisoned, FailureRecord{
-					Handle: h, Attempts: attempts, Err: err.Error(),
-				})
-				e.poisonMu.Unlock()
 				continue
 			}
 			requeue = append(requeue, h)
 			continue
 		}
 		stats.Committed++
-		if len(e.failures) != 0 {
-			// A previously failed task recovered; forget its record.
-			delete(e.failures, handles[i])
-		}
+		// A previously failed task may have recovered; forget its record.
+		e.clearFailure(handles[i])
 		e.committed = append(e.committed, handles[i])
 		for _, t := range ctxs[i].spawned {
 			if wrap != nil {
@@ -836,22 +780,10 @@ func (e *Executor) Round(m int) RoundStats {
 	for _, ctx := range ctxs[:n] {
 		ctx.scrub()
 	}
-	e.totalLaunched.Add(int64(stats.Launched))
-	e.totalCommitted.Add(int64(stats.Committed))
-	e.totalAborted.Add(int64(stats.Aborted))
-	e.totalFailed.Add(int64(stats.Failed))
-	e.totalPoisoned.Add(int64(stats.Poisoned))
+	e.addTotals(int64(stats.Launched), int64(stats.Committed),
+		int64(stats.Aborted), int64(stats.Failed), int64(stats.Poisoned))
 	for _, fn := range commitActions {
 		fn()
 	}
 	return stats
-}
-
-// OverallConflictRatio returns cumulative aborts/launches.
-func (e *Executor) OverallConflictRatio() float64 {
-	l := e.totalLaunched.Load()
-	if l == 0 {
-		return 0
-	}
-	return float64(e.totalAborted.Load()) / float64(l)
 }

@@ -155,6 +155,40 @@ func Drain(ctx context.Context, s Stepper, c control.Controller, maxRounds int) 
 	return res
 }
 
+// AsyncStepper is the barrier-free driving surface: steppers backed by
+// the unordered executor expose its RunAsync drive. Use SupportsAsync
+// to decide whether a *workload* may be driven this way — implementing
+// the interface is necessary but not sufficient (an application's
+// commit actions may assume round-barrier serialization).
+type AsyncStepper interface {
+	Stepper
+	RunAsync(ctx context.Context, c control.Controller, opts speculation.AsyncOptions) *speculation.AsyncResult
+}
+
+// DrainAsync drives the stepper barrier-free under controller c until
+// the work-set drains, ctx is canceled, or an options bound trips —
+// the async analogue of Drain, returning the same AdaptiveResult shape
+// with one entry per sliding-window sample instead of per round. The
+// stepper must support async execution (ordered workloads do not).
+func DrainAsync(ctx context.Context, s Stepper, c control.Controller, opts speculation.AsyncOptions) (*speculation.AdaptiveResult, error) {
+	as, ok := s.(AsyncStepper)
+	if !ok {
+		return nil, fmt.Errorf("workload: %T does not support barrier-free execution", s)
+	}
+	ar := as.RunAsync(ctx, c, opts)
+	res := &speculation.AdaptiveResult{Controller: c.Name()}
+	for _, sm := range ar.Trajectory {
+		res.M = append(res.M, sm.M)
+		res.R = append(res.R, sm.R)
+		res.Committed = append(res.Committed, sm.Committed)
+	}
+	res.Rounds = ar.Samples
+	res.UsefulWork = int(ar.Committed)
+	res.WastedWork = int(ar.Aborted + ar.Failed)
+	res.ProcRounds = int(ar.Launched)
+	return res, nil
+}
+
 // execStepper adapts the unordered executor.
 type execStepper struct{ e *speculation.Executor }
 
@@ -174,6 +208,9 @@ func (s execStepper) Round(ctx context.Context, m int) RoundResult {
 }
 func (s execStepper) Snapshot() speculation.Snapshot { return s.e.Snapshot() }
 func (s execStepper) Close()                         { s.e.Close() }
+func (s execStepper) RunAsync(ctx context.Context, c control.Controller, opts speculation.AsyncOptions) *speculation.AsyncResult {
+	return s.e.RunAsync(ctx, c, opts)
+}
 
 // orderedStepper adapts the ordered executor; aborted counts conflicts
 // plus premature executions, matching OrderedRoundStats.ConflictRatio.
@@ -253,6 +290,13 @@ func Has(name string) bool {
 // SupportsFault reports whether the named workload can host fault
 // injection (its tasks enter the executor after WrapTask is set).
 func SupportsFault(name string) bool { return name == "cc" || name == "spin" }
+
+// SupportsAsync reports whether the named workload can be driven
+// barrier-free. The application workloads' commit actions assume the
+// round barrier serializes them against all speculation; the synthetic
+// workloads ("cc", "spin") guard their shared state themselves, so
+// their commit actions are safe to run as tasks settle.
+func SupportsAsync(name string) bool { return name == "cc" || name == "spin" }
 
 // New instantiates the named workload. Construction builds the full
 // input (mesh, graph, formula, …), so it can be deferred until a job

@@ -19,14 +19,17 @@ import (
 )
 
 // specdArgs returns the flag set for a durable daemon rooted at dir.
-// checkpoint-rounds 2 makes checkpoints land almost immediately, and
-// the large history ring keeps the pre-crash trajectory prefix from
-// being evicted during the (long) mesh reruns.
+// checkpoint-rounds 2 makes round-mode checkpoints land almost
+// immediately, checkpoint-commits 64 does the same for the async job's
+// commit-count checkpoints, and the large history ring keeps the
+// pre-crash trajectory prefix from being evicted during the (long)
+// mesh reruns.
 func durableArgs(dir string) []string {
 	return []string{
-		"-workers", "2", "-parallel", "1", "-queue", "32",
+		"-workers", "3", "-parallel", "1", "-queue", "32",
 		"-state-dir", dir, "-fsync", "always",
-		"-checkpoint-rounds", "2", "-history", "40000",
+		"-checkpoint-rounds", "2", "-checkpoint-commits", "64",
+		"-history", "40000",
 	}
 }
 
@@ -47,8 +50,10 @@ func TestSpecdCrashRecovery(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
 
-	// Two slow mesh jobs occupy both workers; six cc jobs queue behind
-	// them. At kill time: 2 running (with checkpoints), 6 queued.
+	// Two slow mesh jobs and one slow barrier-free cc job occupy all
+	// three workers; six cc jobs queue behind them. At kill time: 3
+	// running (with checkpoints — round-count for the meshes,
+	// commit-count for the async job), 6 queued.
 	var ids []string
 	for i := 0; i < 2; i++ {
 		st, err := c.Submit(ctx, service.JobSpec{
@@ -60,6 +65,18 @@ func TestSpecdCrashRecovery(t *testing.T) {
 		ids = append(ids, st.ID)
 	}
 	meshIDs := append([]string(nil), ids...)
+	// The delay fault paces the async job (~8 in flight × 5ms/task) so
+	// it is still mid-drain at kill time but reruns well inside the
+	// test budget.
+	asyncJob, err := c.Submit(ctx, service.JobSpec{
+		Workload: "cc", Controller: "fixed", FixedM: 8, Size: 16000,
+		Mode:  service.ModeAsync,
+		Fault: &service.FaultSpec{DelayRate: 1, Delay: service.Duration(5 * time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatalf("submit async cc: %v", err)
+	}
+	ids = append(ids, asyncJob.ID)
 	for i := 0; i < 6; i++ {
 		st, err := c.Submit(ctx, service.JobSpec{
 			Workload: "cc", Controller: "hybrid", Size: 300, Seed: uint64(i + 1),
@@ -84,6 +101,19 @@ func TestSpecdCrashRecovery(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
+	// And until the async job has committed past two commit-count
+	// checkpoints (at checkpoint-commits=64, 160 commits guarantees at
+	// least two durable records).
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		st, err := c.Job(ctx, asyncJob.ID)
+		if err == nil && st.State == service.StateRunning && st.Committed >= 160 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async job %s never checkpointed (last: %+v, err %v)", asyncJob.ID, st, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 
 	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatalf("SIGKILL: %v", err)
@@ -106,7 +136,7 @@ func TestSpecdCrashRecovery(t *testing.T) {
 	p2.waitLine(t, "truncating torn final record", 20*time.Second)
 	p2.waitLine(t, "recovered state from", 20*time.Second)
 
-	// Every one of the 8 jobs must reach done with a trajectory.
+	// Every one of the 9 jobs must reach done with a trajectory.
 	for _, id := range ids {
 		st, err := c2.Wait(ctx, id, 50*time.Millisecond)
 		if err != nil {
@@ -146,6 +176,35 @@ func TestSpecdCrashRecovery(t *testing.T) {
 		}
 	}
 
+	// The interrupted async job was re-run the same way, its pre-crash
+	// pseudo-round prefix preserved by the commit-count checkpoints.
+	{
+		st, err := c2.Job(ctx, asyncJob.ID)
+		if err != nil {
+			t.Fatalf("async job %s: %v", asyncJob.ID, err)
+		}
+		if st.Attempt != 2 {
+			t.Errorf("async job %s: attempt %d, want 2", asyncJob.ID, st.Attempt)
+		}
+		if st.Committed != 16000 {
+			t.Errorf("async job %s: committed %d after rerun, want 16000", asyncJob.ID, st.Committed)
+		}
+		var prefix, rerun int
+		for _, pt := range st.Trajectory {
+			if pt.Attempt == 0 {
+				prefix++
+			} else if pt.Attempt == 2 {
+				rerun++
+			}
+		}
+		if prefix < 8 {
+			t.Errorf("async job %s: only %d pre-crash samples preserved, want >= 8", asyncJob.ID, prefix)
+		}
+		if rerun == 0 {
+			t.Errorf("async job %s: no rerun samples recorded", asyncJob.ID)
+		}
+	}
+
 	// Journal metrics and healthz recovery status.
 	metrics, err := c2.Metrics(ctx)
 	if err != nil {
@@ -154,7 +213,7 @@ func TestSpecdCrashRecovery(t *testing.T) {
 	for _, want := range []string{
 		"specd_journal_records_total",
 		"specd_journal_fsyncs_total",
-		"specd_recovered_jobs_total 2",
+		"specd_recovered_jobs_total 3",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q", want)
@@ -173,8 +232,8 @@ func TestSpecdCrashRecovery(t *testing.T) {
 	if err := json.Unmarshal(body, &health); err != nil {
 		t.Fatalf("healthz decode: %v\n%s", err, body)
 	}
-	if !health.Journal || health.RecoveredJobs != 2 {
-		t.Errorf("healthz = %s, want journal=true recovered_jobs=2", body)
+	if !health.Journal || health.RecoveredJobs != 3 {
+		t.Errorf("healthz = %s, want journal=true recovered_jobs=3", body)
 	}
 }
 
