@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: check vet build test race equiv chaos crash bench bench-sim
+.PHONY: check vet build test race equiv chaos crash cluster bench bench-sim
 
 check: vet build test race equiv
 
@@ -56,6 +56,15 @@ chaos:
 crash:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'SpecdCrash|SpecdRestart' .
+
+# cluster runs the distributed e2e under the race detector: a router
+# fronting three nodes, one SIGKILLed mid-soak — every job must reach a
+# terminal state on the survivors, with handed-off jobs re-running at
+# attempt >= 2 and keeping their pre-crash trajectory prefix — plus the
+# load generator driven through the cluster front door.
+cluster:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'SpecdCluster|SpecloadCluster' .
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

@@ -31,6 +31,22 @@
 // jobs re-enqueue, and jobs that were running when the process died
 // are re-run from spec.
 //
+// # Cluster modes
+//
+// specd scales out as a sharded cluster (see internal/cluster):
+//
+//	specd -mode router -addr 127.0.0.1:8080 -state-dir /var/lib/specd-router
+//	specd -mode node -addr 127.0.0.1:9001 -node-id n1 -join http://127.0.0.1:8080
+//
+// A router serves the same job API but places jobs on member nodes by
+// consistent hashing with least-loaded fallback, fans out lists and
+// metrics, and hands a dead node's unfinished jobs off to survivors.
+// A node with -join heartbeats the router to hold a TTL membership
+// lease (-lease-ttl); if the lease is revoked — the router declared it
+// dead and may have handed its jobs away — the node drains instead of
+// split-braining. -advertise overrides the URL the router reaches the
+// node at (defaults to http://<listen-addr>).
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: admission stops,
 // running jobs finish their in-flight round and are marked canceled,
 // queued jobs stay queued, then the process exits 0.
@@ -49,11 +65,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/journal"
 	"repro/internal/service"
 )
 
 func main() {
+	mode := flag.String("mode", "node", "process role: node | router")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	queueCap := flag.Int("queue", 64, "bounded job-queue capacity (overflow returns 429)")
 	workers := flag.Int("workers", 2, "concurrent job runners")
@@ -68,6 +86,15 @@ func main() {
 	checkpointCommits := flag.Int("checkpoint-commits", 2048, "journal a running async job's progress every K commits")
 	asyncDefault := flag.Bool("async", false, "run jobs barrier-free by default where the workload supports it (jobs may still set \"mode\" explicitly)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+	// Cluster flags.
+	join := flag.String("join", "", "router base URL to join as a cluster node (node mode)")
+	nodeID := flag.String("node-id", "", "stable cluster node id (default: host:port of -addr)")
+	advertise := flag.String("advertise", "", "base URL the router reaches this node at (default http://<listen-addr>)")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "membership lease TTL; heartbeats fire every TTL/3")
+	sweepInterval := flag.Duration("sweep-interval", 0, "router failure-detector cadence (default lease-ttl/3)")
+	syncInterval := flag.Duration("sync-interval", time.Second, "router placement-sync cadence")
+	prefixTail := flag.Int("prefix-tail", 64, "trajectory points the router caches per running job for handoff")
 	flag.Parse()
 
 	logger := log.New(os.Stdout, "", log.LstdFlags)
@@ -75,6 +102,18 @@ func main() {
 	fsync, err := journal.ParsePolicy(*fsyncPolicy)
 	if err != nil {
 		logger.Fatalf("specd: %v", err)
+	}
+
+	if *mode == "router" {
+		runRouter(logger, routerFlags{
+			addr: *addr, stateDir: *stateDir, fsync: fsync,
+			leaseTTL: *leaseTTL, sweepInterval: *sweepInterval,
+			syncInterval: *syncInterval, prefixTail: *prefixTail,
+		})
+		return
+	}
+	if *mode != "node" {
+		logger.Fatalf("specd: unknown -mode %q (want node or router)", *mode)
 	}
 
 	defaultMode := service.ModeRound
@@ -120,19 +159,64 @@ func main() {
 	// Printed before serving so harnesses using :0 can scrape the port.
 	logger.Printf("specd: listening on %s (workers=%d queue=%d state=%s)", ln.Addr(), *workers, *queueCap, durable)
 
+	// Join the cluster after the listener exists (the advertise URL
+	// must be live before the router can place jobs here).
+	var agent *cluster.Agent
+	if *join != "" {
+		id := *nodeID
+		if id == "" {
+			id = ln.Addr().String()
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			RouterURL:   *join,
+			NodeID:      id,
+			Advertise:   adv,
+			TTL:         *leaseTTL,
+			Incarnation: time.Now().UnixNano(),
+			Load: func() cluster.LoadInfo {
+				return cluster.LoadInfo{QueueDepth: svc.QueueDepth(), Running: svc.Running()}
+			},
+			Logf: logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("specd: %v", err)
+		}
+		svc.SetClusterIdentity(id, "node", agent.LeaseExpires)
+		logger.Printf("specd: joined cluster at %s as %s (advertise %s, lease %s)", *join, id, adv, *leaseTTL)
+	}
+
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	var agentRevoked <-chan struct{} // nil (blocks forever) outside a cluster
+	if agent != nil {
+		agentRevoked = agent.Revoked()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	exitCode := 0
 	select {
 	case got := <-sig:
 		logger.Printf("specd: received %s, draining", got)
+	case <-agentRevoked:
+		// The router revoked our lease: it declared this node dead and
+		// may already have handed our jobs to survivors. Running on
+		// would split-brain those jobs, so drain instead.
+		logger.Printf("specd: cluster lease revoked (%s), draining to avoid split-brain", agent.RevokeReason())
+		exitCode = 1
 	case err := <-serveErr:
 		logger.Fatalf("specd: serve: %v", err)
 	}
 
+	if agent != nil {
+		agent.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Drain order: stop the job runners first (finishing in-flight
@@ -153,5 +237,63 @@ func main() {
 		}
 	}
 	logger.Printf("specd: drained cleanly (%d jobs still queued)", queued)
+	fmt.Println("specd: exit")
+	os.Exit(exitCode)
+}
+
+type routerFlags struct {
+	addr          string
+	stateDir      string
+	fsync         journal.Policy
+	leaseTTL      time.Duration
+	sweepInterval time.Duration
+	syncInterval  time.Duration
+	prefixTail    int
+}
+
+// runRouter serves the cluster front door.
+func runRouter(logger *log.Logger, f routerFlags) {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		DataDir:       f.stateDir,
+		LeaseTTL:      f.leaseTTL,
+		SweepInterval: f.sweepInterval,
+		SyncInterval:  f.syncInterval,
+		PrefixTail:    f.prefixTail,
+		Fsync:         f.fsync,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("specd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		logger.Fatalf("specd: listen: %v", err)
+	}
+	durable := "off"
+	if f.stateDir != "" {
+		durable = fmt.Sprintf("%s (fsync=%s)", f.stateDir, f.fsync)
+	}
+	logger.Printf("specd: listening on %s (mode=router lease-ttl=%s state=%s)", ln.Addr(), f.leaseTTL, durable)
+
+	srv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		logger.Printf("specd: received %s, shutting down router", got)
+	case err := <-serveErr:
+		logger.Fatalf("specd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("specd: http shutdown: %v", err)
+	}
+	rt.Close()
 	fmt.Println("specd: exit")
 }

@@ -1,13 +1,19 @@
 // Command specload is a load generator for specd: it submits N jobs
-// concurrently, polls each to completion, and reports a summary. Used
-// by the e2e tests (through its client package) and for manual soak
-// runs against a live daemon:
+// concurrently, polls each to completion, and reports a summary with
+// per-target request-latency histograms. Used by the e2e tests
+// (through its client package) and for manual soak runs against a live
+// daemon or cluster:
 //
 //	specload -addr http://127.0.0.1:8080 -jobs 16 -workload cc -size 500
+//	specload -addr http://127.0.0.1:8080,http://127.0.0.1:8081 -jobs 32
 //
-// Jobs vary the seed (base seed + index) so a soak run exercises
-// distinct executions. Exit status is nonzero if any accepted job
-// failed, or if rejected jobs were not expected (-expect-reject=false).
+// With multiple comma-separated targets, specload drives them through
+// the cluster-failover client: requests stick to the first reachable
+// target and rotate on transport errors, so a soak run rides through a
+// router or node restart. Jobs vary the seed (base seed + index) so a
+// run exercises distinct executions. Exit status is nonzero if any
+// accepted job failed, or if rejected jobs were not expected
+// (-expect-reject=false).
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,8 +31,86 @@ import (
 	"repro/internal/service/client"
 )
 
+// latencyRecorder accumulates per-request latencies for one target,
+// fed by the client's Observe hook.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	byClass map[string][]time.Duration
+	errors  int // transport errors (status 0)
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{byClass: make(map[string][]time.Duration)}
+}
+
+func (lr *latencyRecorder) observe(method, path string, status int, elapsed time.Duration) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.byClass[opClass(method, path)] = append(lr.byClass[opClass(method, path)], elapsed)
+	if status == 0 {
+		lr.errors++
+	}
+}
+
+// opClass buckets requests into a few stable operation names so the
+// histogram summary stays readable.
+func opClass(method, path string) string {
+	switch {
+	case method == "POST" && strings.HasSuffix(path, "/v1/jobs"):
+		return "submit"
+	case method == "GET" && strings.HasSuffix(path, "/v1/jobs"):
+		return "list"
+	case method == "GET" && strings.Contains(path, "/v1/jobs/"):
+		return "poll"
+	case method == "DELETE" && strings.Contains(path, "/v1/jobs/"):
+		return "cancel"
+	case strings.HasSuffix(path, "/healthz"):
+		return "health"
+	case strings.HasSuffix(path, "/metrics"):
+		return "metrics"
+	default:
+		return method + " " + path
+	}
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// latencies using nearest-rank; zero on an empty slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// summarize prints one histogram line per operation class.
+func (lr *latencyRecorder) summarize(target string) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	classes := make([]string, 0, len(lr.byClass))
+	for c := range lr.byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		ds := lr.byClass[c]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Printf("specload: latency %-28s %-8s n=%-6d p50=%-10s p90=%-10s p99=%s\n",
+			target, c, len(ds), percentile(ds, 50), percentile(ds, 90), percentile(ds, 99))
+	}
+	if lr.errors > 0 {
+		fmt.Printf("specload: latency %-28s transport errors: %d\n", target, lr.errors)
+	}
+}
+
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "specd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "specd base URL(s), comma-separated for failover")
 	jobs := flag.Int("jobs", 8, "number of jobs to submit concurrently")
 	wl := flag.String("workload", "cc", "workload name (mesh | boruvka | sp | cluster | des | maxflow | cc)")
 	ctrl := flag.String("ctrl", "hybrid", "controller name")
@@ -42,11 +128,34 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := client.New(*addr)
 
-	if err := c.Health(ctx); err != nil {
+	targets := strings.Split(*addr, ",")
+	recorders := make(map[string]*latencyRecorder, len(targets))
+	clients := make([]*client.Client, 0, len(targets))
+	for _, t := range targets {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		c := client.New(t)
+		lr := newLatencyRecorder()
+		recorders[c.BaseURL] = lr
+		c.Observe = lr.observe
+		clients = append(clients, c)
+	}
+	if len(clients) == 0 {
+		fmt.Fprintln(os.Stderr, "specload: -addr names no targets")
+		os.Exit(2)
+	}
+	c := client.NewClusterFrom(clients...)
+
+	h, err := c.Health(ctx)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "specload: server not healthy: %v\n", err)
 		os.Exit(1)
+	}
+	if h.Role != "" {
+		fmt.Printf("specload: driving %s (role %s) with %d jobs\n", c.LastTarget(), h.Role, *jobs)
 	}
 
 	type outcome struct {
@@ -111,6 +220,9 @@ func main() {
 		totalAborts += st.Aborted
 		line := fmt.Sprintf("%-5s %-9s rounds=%-6d committed=%-8d aborted=%-7d ratio=%.3f",
 			st.ID, st.State, st.Rounds, st.Committed, st.Aborted, st.ConflictRatio)
+		if st.Node != "" {
+			line += " node=" + st.Node
+		}
 		if st.State == service.StateDone {
 			fmt.Printf("%s %s\n", line, st.Result)
 		} else {
@@ -121,6 +233,9 @@ func main() {
 
 	fmt.Printf("specload: %d submitted, %d accepted, %d rejected (429), %d retried, %d failed in %.2fs; commits=%d aborts=%d\n",
 		*jobs, accepted, rejected, retried, failed, time.Since(start).Seconds(), totalCommits, totalAborts)
+	for _, cl := range clients {
+		recorders[cl.BaseURL].summarize(cl.BaseURL)
+	}
 	if failed > 0 || (rejected > 0 && !*expectReject) {
 		os.Exit(1)
 	}

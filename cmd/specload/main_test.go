@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sorted := make([]time.Duration, 0, 100)
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, ms(i))
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, ms(50)},
+		{90, ms(90)},
+		{99, ms(99)},
+		{100, ms(100)},
+		{1, ms(1)},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(1..100ms, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{ms(7)}, 99); got != ms(7) {
+		t.Errorf("percentile(single, 99) = %v, want 7ms", got)
+	}
+}
+
+func TestOpClass(t *testing.T) {
+	cases := []struct{ method, path, want string }{
+		{"POST", "/v1/jobs", "submit"},
+		{"GET", "/v1/jobs", "list"},
+		{"GET", "/v1/jobs/c12", "poll"},
+		{"GET", "/healthz", "health"},
+		{"GET", "/metrics", "metrics"},
+		{"DELETE", "/v1/jobs/c12", "cancel"},
+	}
+	for _, c := range cases {
+		if got := opClass(c.method, c.path); got != c.want {
+			t.Errorf("opClass(%s %s) = %q, want %q", c.method, c.path, got, c.want)
+		}
+	}
+}

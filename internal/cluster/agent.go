@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AgentConfig wires a node's membership agent.
+type AgentConfig struct {
+	// RouterURL is the router's base URL (the -join flag).
+	RouterURL string
+	// NodeID is this node's cluster id (must be stable across the
+	// node's restarts for handoff bookkeeping to read well, but any
+	// unique string works).
+	NodeID string
+	// Advertise is the base URL peers and the router reach this node at.
+	Advertise string
+	// TTL is the lease duration requested on each renewal; heartbeats
+	// fire every TTL/3 so two can be lost before the lease expires.
+	TTL time.Duration
+	// Incarnation distinguishes this process from earlier ones under
+	// the same NodeID. Monotone per restart (wall-clock nanos do fine).
+	Incarnation int64
+	// Load reports current load for least-loaded placement (optional).
+	Load func() LoadInfo
+	// HTTPClient defaults to a 5s-timeout client.
+	HTTPClient *http.Client
+	// Logf receives agent lifecycle lines (optional).
+	Logf func(format string, args ...any)
+}
+
+// Agent keeps a node's membership lease alive. It heartbeats the
+// router every TTL/3, tracks the gossiped membership view, and closes
+// Revoked() if the router refuses the lease — the signal to drain.
+type Agent struct {
+	cfg    AgentConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	expires time.Time
+	members []MemberInfo
+
+	revoked   chan struct{}
+	revokeMsg string
+	revOnce   sync.Once
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// StartAgent joins the cluster (the first renewal is the join) and
+// starts the heartbeat loop. The initial join is attempted eagerly and
+// retried by the loop, so a node may come up before its router.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.RouterURL == "" || cfg.NodeID == "" || cfg.Advertise == "" {
+		return nil, fmt.Errorf("cluster: agent needs RouterURL, NodeID, and Advertise")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &Agent{
+		cfg:     cfg,
+		client:  cfg.HTTPClient,
+		revoked: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	if a.client == nil {
+		a.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if err := a.renew(); err != nil {
+		a.cfg.Logf("cluster: initial join of %s failed (will retry): %v", cfg.RouterURL, err)
+	}
+	a.stopped.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+func (a *Agent) loop() {
+	defer a.stopped.Done()
+	tick := time.NewTicker(a.cfg.TTL / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.revoked:
+			return
+		case <-tick.C:
+			if err := a.renew(); err != nil {
+				a.cfg.Logf("cluster: lease renewal failed: %v", err)
+			}
+		}
+	}
+}
+
+// renew sends one heartbeat and folds the response into the agent.
+func (a *Agent) renew() error {
+	req := renewRequest{
+		ID:          a.cfg.NodeID,
+		Addr:        a.cfg.Advertise,
+		Incarnation: a.cfg.Incarnation,
+		TTLMillis:   a.cfg.TTL.Milliseconds(),
+	}
+	if a.cfg.Load != nil {
+		req.Load = a.cfg.Load()
+	}
+	var resp renewResponse
+	if err := a.post("/v1/cluster/renew", req, &resp); err != nil {
+		return err
+	}
+	if resp.Revoked {
+		a.revOnce.Do(func() {
+			a.revokeMsg = resp.Reason
+			close(a.revoked)
+		})
+		return nil
+	}
+	a.mu.Lock()
+	a.expires = resp.Expires
+	a.members = resp.Members
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *Agent) post(path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.RouterURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: %s", path, resp.Status)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Revoked is closed when the router refuses this incarnation's lease;
+// the node should stop accepting work and drain.
+func (a *Agent) Revoked() <-chan struct{} { return a.revoked }
+
+// RevokeReason reports why the lease was revoked ("" while held).
+func (a *Agent) RevokeReason() string {
+	select {
+	case <-a.revoked:
+		return a.revokeMsg
+	default:
+		return ""
+	}
+}
+
+// LeaseExpires returns the deadline of the last successful renewal
+// (zero before the first one).
+func (a *Agent) LeaseExpires() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.expires
+}
+
+// Members returns the membership view gossiped with the last renewal.
+func (a *Agent) Members() []MemberInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]MemberInfo(nil), a.members...)
+}
+
+// Close stops the heartbeat loop and, if the lease is still held,
+// announces a clean departure so the router hands our jobs off
+// immediately instead of waiting out the lease.
+func (a *Agent) Close() {
+	select {
+	case <-a.stop:
+		return
+	default:
+	}
+	close(a.stop)
+	a.stopped.Wait()
+	if a.RevokeReason() == "" {
+		_ = a.post("/v1/cluster/leave", leaveRequest{
+			ID:          a.cfg.NodeID,
+			Incarnation: a.cfg.Incarnation,
+		}, nil)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// A node whose lease is revoked must learn so from its next heartbeat
+// (Revoked closes → the daemon drains), and a restart with a fresh
+// incarnation must be able to rejoin.
+func TestAgentRejoinAfterRevocationDrains(t *testing.T) {
+	r, err := NewRouter(RouterConfig{
+		LeaseTTL:      500 * time.Millisecond,
+		SweepInterval: time.Hour, // driven manually
+		SyncInterval:  time.Hour,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	a, err := StartAgent(AgentConfig{
+		RouterURL:   srv.URL,
+		NodeID:      "n1",
+		Advertise:   "http://127.0.0.1:1", // never dialed in this test
+		TTL:         300 * time.Millisecond,
+		Incarnation: 1,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("StartAgent: %v", err)
+	}
+	defer a.Close()
+
+	if a.LeaseExpires().IsZero() {
+		t.Fatal("agent should hold a lease after the initial join")
+	}
+	if got := len(a.Members()); got != 1 {
+		t.Fatalf("gossiped member count = %d, want 1", got)
+	}
+
+	// Revoke out from under it: mark the lease left (the same terminal
+	// path as a failure-detector death for renewal purposes).
+	if !r.members.leave("n1", 1) {
+		t.Fatal("leave should succeed")
+	}
+	select {
+	case <-a.Revoked():
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent never observed the revocation")
+	}
+	if a.RevokeReason() == "" {
+		t.Fatal("revocation reason should be populated")
+	}
+
+	// Same incarnation can never rejoin (split-brain guard)...
+	resp, _ := r.members.renew(renewRequest{ID: "n1", Addr: "a", Incarnation: 1}, time.Second)
+	if !resp.Revoked {
+		t.Fatalf("same-incarnation rejoin accepted: %+v", resp)
+	}
+
+	// ...but a restarted process (higher incarnation) joins cleanly.
+	b, err := StartAgent(AgentConfig{
+		RouterURL:   srv.URL,
+		NodeID:      "n1",
+		Advertise:   "http://127.0.0.1:1",
+		TTL:         300 * time.Millisecond,
+		Incarnation: 2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("StartAgent(rejoin): %v", err)
+	}
+	defer b.Close()
+	if b.LeaseExpires().IsZero() {
+		t.Fatal("restarted agent should hold a fresh lease")
+	}
+	select {
+	case <-b.Revoked():
+		t.Fatal("fresh incarnation was revoked")
+	default:
+	}
+}

@@ -1,0 +1,89 @@
+// Package cluster turns a set of specd nodes into a sharded cluster
+// behind a single routing front door.
+//
+// The design has three parts:
+//
+//   - Membership: nodes hold TTL leases on the router, renewed by
+//     heartbeat (POST /v1/cluster/renew). A node that misses enough
+//     renewals is declared dead by the router's failure detector.
+//     Renewal responses carry the router's full membership view, so
+//     every heartbeat doubles as a gossip round — nodes always know the
+//     current cluster without a separate protocol.
+//
+//   - Routing: the router proxies the standard specd job API. New jobs
+//     get a cluster-wide id and are placed by consistent hashing on
+//     that id, falling back to the least-loaded survivor when the ring
+//     owner is full or unreachable. Reads proxy to the owner; lists and
+//     /metrics fan out and aggregate.
+//
+//   - Handoff: the router journals every placement to a write-ahead
+//     log and periodically syncs each job's attempt counter and
+//     trajectory tail from its owner. When a node dies, its unfinished
+//     jobs are re-submitted to survivors (POST /v1/cluster/handoff on
+//     the node) where the service's recovery path re-runs them from
+//     spec with the synced trajectory prefix preserved. A node whose
+//     lease was revoked — the router saw it dead and may already have
+//     handed its jobs away — learns so from its next renewal and
+//     drains instead of split-braining.
+//
+// Incarnation numbers (chosen once per process start) distinguish a
+// restarted node from a zombie: a renewal with a higher incarnation
+// replaces the old lease, one with a lower incarnation is refused.
+package cluster
+
+import "time"
+
+// Member states as the router's failure detector sees them.
+const (
+	// StateAlive: lease current, receives placements and handoffs.
+	StateAlive = "alive"
+	// StateDead: lease expired; unfinished jobs are handed off.
+	StateDead = "dead"
+	// StateLeft: node announced a clean departure (also hands off).
+	StateLeft = "left"
+)
+
+// LoadInfo is the load summary a node reports with each renewal; the
+// router uses it for least-loaded fallback placement.
+type LoadInfo struct {
+	QueueDepth int   `json:"queue_depth"`
+	Running    int64 `json:"running"`
+}
+
+// MemberInfo is one row of the membership table, as gossiped to nodes
+// in renewal responses and served on GET /v1/cluster/members.
+type MemberInfo struct {
+	ID          string    `json:"id"`
+	Addr        string    `json:"addr"` // base URL, e.g. http://127.0.0.1:9001
+	Incarnation int64     `json:"incarnation"`
+	State       string    `json:"state"`
+	Expires     time.Time `json:"expires"`
+	Load        LoadInfo  `json:"load"`
+}
+
+// renewRequest is the heartbeat body (POST /v1/cluster/renew). The
+// first renewal from a node is its join.
+type renewRequest struct {
+	ID          string   `json:"id"`
+	Addr        string   `json:"addr"`
+	Incarnation int64    `json:"incarnation"`
+	TTLMillis   int64    `json:"ttl_ms"`
+	Load        LoadInfo `json:"load"`
+}
+
+// renewResponse answers a heartbeat. Revoked tells the node its lease
+// is gone for good under this incarnation — it must drain and restart
+// with a fresh incarnation to rejoin.
+type renewResponse struct {
+	OK      bool         `json:"ok"`
+	Revoked bool         `json:"revoked,omitempty"`
+	Reason  string       `json:"reason,omitempty"`
+	Expires time.Time    `json:"expires,omitempty"`
+	Members []MemberInfo `json:"members,omitempty"`
+}
+
+// leaveRequest announces a clean departure (POST /v1/cluster/leave).
+type leaveRequest struct {
+	ID          string `json:"id"`
+	Incarnation int64  `json:"incarnation"`
+}

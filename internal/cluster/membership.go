@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// memberTable is the router's lease table. The clock is injectable so
+// tests can drive lease expiry vs. renewal races deterministically.
+type memberTable struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	members map[string]*memberEntry
+}
+
+type memberEntry struct {
+	info MemberInfo
+}
+
+func newMemberTable(now func() time.Time) *memberTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &memberTable{now: now, members: make(map[string]*memberEntry)}
+}
+
+// renew processes one heartbeat and reports whether the membership set
+// of alive nodes changed (the caller rebuilds the ring when it did).
+//
+// Incarnation rules:
+//   - unknown id, or a higher incarnation than recorded: a (re)joining
+//     process — fresh alive lease.
+//   - lower incarnation than recorded: a zombie from before a restart —
+//     revoked.
+//   - equal incarnation but the lease is no longer alive: the failure
+//     detector already declared this process dead (its jobs may be
+//     handed off) — revoked; the process must drain and restart.
+//   - equal incarnation, alive: plain renewal.
+func (t *memberTable) renew(req renewRequest, ttl time.Duration) (resp renewResponse, changed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if req.TTLMillis > 0 {
+		ttl = time.Duration(req.TTLMillis) * time.Millisecond
+	}
+
+	e, ok := t.members[req.ID]
+	if ok {
+		// Lazily expire before judging, so a heartbeat that lost the
+		// race against the sweep is treated identically either way.
+		if e.info.State == StateAlive && !now.Before(e.info.Expires) {
+			e.info.State = StateDead
+		}
+		switch {
+		case req.Incarnation < e.info.Incarnation:
+			return renewResponse{Revoked: true, Reason: "stale incarnation"}, false
+		case req.Incarnation == e.info.Incarnation && e.info.State != StateAlive:
+			return renewResponse{Revoked: true, Reason: "lease " + e.info.State}, false
+		}
+	}
+	if !ok {
+		e = &memberEntry{}
+		t.members[req.ID] = e
+	}
+	changed = !ok || e.info.State != StateAlive || req.Incarnation > e.info.Incarnation
+	e.info = MemberInfo{
+		ID:          req.ID,
+		Addr:        req.Addr,
+		Incarnation: req.Incarnation,
+		State:       StateAlive,
+		Expires:     now.Add(ttl),
+		Load:        req.Load,
+	}
+	return renewResponse{OK: true, Expires: e.info.Expires, Members: t.viewLocked()}, changed
+}
+
+// sweep expires overdue leases and returns the ids newly declared dead
+// this pass — the trigger for job handoff.
+func (t *memberTable) sweep() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var dead []string
+	for id, e := range t.members {
+		if e.info.State == StateAlive && !now.Before(e.info.Expires) {
+			e.info.State = StateDead
+			dead = append(dead, id)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// leave marks a clean departure. Stale incarnations are ignored; a
+// matching or newer one transitions the lease to StateLeft and reports
+// whether the member had been alive (its jobs then hand off).
+func (t *memberTable) leave(id string, incarnation int64) (wasAlive bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.members[id]
+	if !ok || incarnation < e.info.Incarnation {
+		return false
+	}
+	wasAlive = e.info.State == StateAlive
+	e.info.State = StateLeft
+	return wasAlive
+}
+
+// alive returns the alive members, sorted by id.
+func (t *memberTable) alive() []MemberInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []MemberInfo
+	for _, e := range t.members {
+		if e.info.State == StateAlive {
+			out = append(out, e.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// view returns every member (any state), sorted by id.
+func (t *memberTable) view() []MemberInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.viewLocked()
+}
+
+func (t *memberTable) viewLocked() []MemberInfo {
+	out := make([]MemberInfo, 0, len(t.members))
+	for _, e := range t.members {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// get returns one member's row.
+func (t *memberTable) get(id string) (MemberInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.members[id]
+	if !ok {
+		return MemberInfo{}, false
+	}
+	return e.info, true
+}
+
+// counts tallies members by state for /healthz and /metrics.
+func (t *memberTable) counts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range t.members {
+		out[e.info.State]++
+	}
+	return out
+}

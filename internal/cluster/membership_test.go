@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the membership table deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+
+func newTestTable() (*memberTable, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newMemberTable(clk.now), clk
+}
+
+func renewOK(t *testing.T, tbl *memberTable, id string, inc int64, ttl time.Duration) renewResponse {
+	t.Helper()
+	resp, _ := tbl.renew(renewRequest{ID: id, Addr: "http://x/" + id, Incarnation: inc}, ttl)
+	if !resp.OK || resp.Revoked {
+		t.Fatalf("renew(%s, inc=%d) refused: %+v", id, inc, resp)
+	}
+	return resp
+}
+
+// The renewal-vs-expiry race, order 1: the heartbeat lands just before
+// the sweep. The lease must survive and the sweep must not kill it.
+func TestRenewalBeatsExpiry(t *testing.T) {
+	tbl, clk := newTestTable()
+	ttl := time.Second
+	renewOK(t, tbl, "n1", 1, ttl)
+
+	clk.advance(ttl - time.Millisecond) // 1ms before the deadline
+	renewOK(t, tbl, "n1", 1, ttl)       // heartbeat wins the race
+
+	clk.advance(2 * time.Millisecond) // past the *old* deadline
+	if dead := tbl.sweep(); len(dead) != 0 {
+		t.Fatalf("sweep declared %v dead after an in-time renewal", dead)
+	}
+	m, _ := tbl.get("n1")
+	if m.State != StateAlive {
+		t.Fatalf("n1 state = %s, want alive", m.State)
+	}
+}
+
+// The same race, order 2: the lease expires first (whether the sweep
+// has run yet or not), then the heartbeat arrives. The node must be
+// told its lease is gone — it may have had jobs handed off.
+func TestExpiryBeatsRenewal(t *testing.T) {
+	for _, sweepFirst := range []bool{true, false} {
+		tbl, clk := newTestTable()
+		ttl := time.Second
+		renewOK(t, tbl, "n1", 1, ttl)
+
+		clk.advance(ttl) // exactly at the deadline: expired
+		if sweepFirst {
+			if dead := tbl.sweep(); len(dead) != 1 || dead[0] != "n1" {
+				t.Fatalf("sweep = %v, want [n1]", dead)
+			}
+		}
+		resp, _ := tbl.renew(renewRequest{ID: "n1", Addr: "a", Incarnation: 1}, ttl)
+		if !resp.Revoked {
+			t.Fatalf("sweepFirst=%v: late renewal under the same incarnation not revoked: %+v", sweepFirst, resp)
+		}
+	}
+}
+
+// A higher incarnation is a restarted process and may always rejoin; a
+// lower one is a zombie and never can.
+func TestIncarnationRules(t *testing.T) {
+	tbl, clk := newTestTable()
+	ttl := time.Second
+	renewOK(t, tbl, "n1", 5, ttl)
+
+	// Zombie with an older incarnation: refused even while the current
+	// lease is alive.
+	if resp, _ := tbl.renew(renewRequest{ID: "n1", Incarnation: 4, Addr: "a"}, ttl); !resp.Revoked {
+		t.Fatalf("stale incarnation accepted: %+v", resp)
+	}
+
+	// Death, then rejoin with a fresh incarnation: accepted.
+	clk.advance(2 * ttl)
+	tbl.sweep()
+	resp := renewOK(t, tbl, "n1", 6, ttl)
+	if len(resp.Members) != 1 || resp.Members[0].State != StateAlive {
+		t.Fatalf("rejoined member view = %+v, want one alive row", resp.Members)
+	}
+}
+
+func TestLeaveHandsOffOnce(t *testing.T) {
+	tbl, _ := newTestTable()
+	renewOK(t, tbl, "n1", 1, time.Second)
+	if !tbl.leave("n1", 1) {
+		t.Fatal("leave of an alive member should report wasAlive")
+	}
+	if tbl.leave("n1", 1) {
+		t.Fatal("second leave should be a no-op")
+	}
+	if resp, _ := tbl.renew(renewRequest{ID: "n1", Incarnation: 1, Addr: "a"}, time.Second); !resp.Revoked {
+		t.Fatalf("renewal after leave under the same incarnation not revoked: %+v", resp)
+	}
+	// A stale leave must not kill a newer incarnation.
+	renewOK(t, tbl, "n1", 2, time.Second)
+	if tbl.leave("n1", 1) {
+		t.Fatal("stale leave acted on a newer incarnation")
+	}
+	if m, _ := tbl.get("n1"); m.State != StateAlive {
+		t.Fatalf("n1 state = %s after stale leave, want alive", m.State)
+	}
+}
+
+// Gossip: every renewal response carries the full membership view.
+func TestRenewalGossipsView(t *testing.T) {
+	tbl, clk := newTestTable()
+	ttl := time.Second
+	renewOK(t, tbl, "n1", 1, ttl)
+	renewOK(t, tbl, "n2", 1, ttl)
+	clk.advance(2 * ttl)
+	tbl.sweep() // both dead
+	resp := renewOK(t, tbl, "n1", 2, ttl)
+	states := map[string]string{}
+	for _, m := range resp.Members {
+		states[m.ID] = m.State
+	}
+	if states["n1"] != StateAlive || states["n2"] != StateDead {
+		t.Fatalf("gossiped view = %v, want n1 alive + n2 dead", states)
+	}
+}

@@ -1,0 +1,690 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/service"
+)
+
+// RouterConfig tunes the cluster front door. Zero values take the
+// documented defaults.
+type RouterConfig struct {
+	// DataDir, when set, holds the router's placement write-ahead log
+	// so a router restart keeps routing jobs it placed before. The
+	// lease table is deliberately ephemeral: nodes re-join within one
+	// heartbeat of a router restart.
+	DataDir string
+	// LeaseTTL is the default lease when a renewal names none (3s).
+	LeaseTTL time.Duration
+	// SweepInterval is the failure-detector cadence (LeaseTTL/3).
+	SweepInterval time.Duration
+	// SyncInterval is the placement-sync cadence: how often the router
+	// refreshes each job's attempt counter and trajectory tail from its
+	// owner (1s).
+	SyncInterval time.Duration
+	// PrefixTail bounds the trajectory prefix cached per running job
+	// for handoff (64 points).
+	PrefixTail int
+	// OrphanGrace is how long a placement may point at a member the
+	// (restarted) router has never seen before its jobs are handed off
+	// anyway (3×LeaseTTL).
+	OrphanGrace time.Duration
+	// VNodes is the consistent-hash virtual-node count (64).
+	VNodes int
+	// Fsync is the WAL durability policy (journal.SyncAlways).
+	Fsync journal.Policy
+	// HTTPClient talks to members (default: 5s timeout).
+	HTTPClient *http.Client
+	// Logf receives router lifecycle lines (optional).
+	Logf func(format string, args ...any)
+	// Now is the failure detector's clock (tests inject one).
+	Now func() time.Time
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.LeaseTTL / 3
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = time.Second
+	}
+	if c.PrefixTail <= 0 {
+		c.PrefixTail = 64
+	}
+	if c.OrphanGrace <= 0 {
+		c.OrphanGrace = 3 * c.LeaseTTL
+	}
+	if c.Fsync == "" {
+		c.Fsync = journal.SyncAlways
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// placement is the router's record of one job: where it lives, the
+// attempt counter and trajectory tail last synced from the owner, and
+// the cached status served when the owner is unreachable.
+type placement struct {
+	ID      string
+	Spec    service.JobSpec
+	Node    string
+	Attempt int
+	Started bool // observed past admission (rounds > 0 or running)
+	Done    bool // observed terminal
+	Pending bool // owner died and no survivor accepted the handoff yet
+	Last    service.JobStatus
+	Prefix  []service.RoundPoint
+
+	orphanAt time.Time // first sweep that found the owner unknown
+}
+
+// Router is the cluster front door: membership authority, job placer,
+// read proxy, and handoff driver.
+type Router struct {
+	cfg     RouterConfig
+	members *memberTable
+
+	mu         sync.Mutex
+	ring       *hashRing
+	placements map[string]*placement
+	seq        int64
+
+	wal *journal.Journal
+
+	placedTotal  atomic.Int64 // jobs placed since start
+	handoffs     atomic.Int64 // handoffs accepted by survivors
+	deadNodes    atomic.Int64 // members declared dead
+	proxyErrors  atomic.Int64 // member requests that failed at transport level
+	scrapeErrors atomic.Int64 // failed member scrapes during fan-out
+
+	start   time.Time
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	closed  sync.Once
+}
+
+// walRecord is one router WAL entry. Place records carry the spec (the
+// router must be able to re-submit after the owner and itself both
+// restarted); handoff and terminal records just move the pointer.
+type walRecord struct {
+	Type    string           `json:"type"` // "place" | "handoff" | "terminal"
+	ID      string           `json:"id"`
+	Node    string           `json:"node,omitempty"`
+	Attempt int              `json:"attempt,omitempty"`
+	Spec    *service.JobSpec `json:"spec,omitempty"`
+}
+
+// walSnapshot is the compacted WAL state.
+type walSnapshot struct {
+	Version    int         `json:"version"`
+	Seq        int64       `json:"seq"`
+	Placements []walPlaced `json:"placements"`
+}
+
+type walPlaced struct {
+	ID      string          `json:"id"`
+	Node    string          `json:"node"`
+	Attempt int             `json:"attempt"`
+	Done    bool            `json:"done,omitempty"`
+	Spec    service.JobSpec `json:"spec"`
+}
+
+// NewRouter builds a router, replaying the placement WAL when DataDir
+// is set, and starts the failure-detector and sync loops.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:        cfg,
+		members:    newMemberTable(cfg.Now),
+		ring:       buildRing(nil, cfg.VNodes),
+		placements: make(map[string]*placement),
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		if err := r.replayWAL(); err != nil {
+			return nil, err
+		}
+		w, err := journal.Open(cfg.DataDir, journal.Options{Fsync: cfg.Fsync, Logf: cfg.Logf})
+		if err != nil {
+			return nil, err
+		}
+		r.wal = w
+	}
+	r.stopped.Add(2)
+	go r.sweepLoop()
+	go r.syncLoop()
+	return r, nil
+}
+
+func (r *Router) replayWAL() error {
+	rep, err := journal.Replay(r.cfg.DataDir, journal.Options{Logf: r.cfg.Logf})
+	if err != nil {
+		return fmt.Errorf("cluster: replaying router wal: %w", err)
+	}
+	if rep.Snapshot != nil {
+		var snap walSnapshot
+		if err := json.Unmarshal(rep.Snapshot, &snap); err != nil {
+			return fmt.Errorf("cluster: bad router snapshot: %w", err)
+		}
+		r.seq = snap.Seq
+		for _, p := range snap.Placements {
+			r.placements[p.ID] = &placement{
+				ID: p.ID, Spec: p.Spec, Node: p.Node, Attempt: p.Attempt, Done: p.Done,
+			}
+		}
+	}
+	for _, raw := range rep.Records {
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			r.cfg.Logf("cluster: skipping bad router wal record: %v", err)
+			continue
+		}
+		switch rec.Type {
+		case "place":
+			pl := &placement{ID: rec.ID, Node: rec.Node, Attempt: rec.Attempt}
+			if rec.Spec != nil {
+				pl.Spec = *rec.Spec
+			}
+			r.placements[rec.ID] = pl
+			if n, ok := parseSeqID(rec.ID); ok && n > r.seq {
+				r.seq = n
+			}
+		case "handoff":
+			if pl, ok := r.placements[rec.ID]; ok {
+				pl.Node = rec.Node
+				pl.Attempt = rec.Attempt
+			}
+		case "terminal":
+			if pl, ok := r.placements[rec.ID]; ok {
+				pl.Done = true
+			}
+		}
+	}
+	if n := len(r.placements); n > 0 {
+		r.cfg.Logf("cluster: router wal restored %d placements (seq %d)", n, r.seq)
+	}
+	return nil
+}
+
+// parseSeqID extracts N from a router-assigned id "cN".
+func parseSeqID(id string) (int64, bool) {
+	if !strings.HasPrefix(id, "c") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	return n, err == nil
+}
+
+func (r *Router) appendWAL(rec walRecord) {
+	if r.wal == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if err := r.wal.Append(raw); err != nil {
+		r.cfg.Logf("cluster: router wal append failed: %v", err)
+	}
+}
+
+// Close stops the loops and compacts the WAL into a snapshot.
+func (r *Router) Close() {
+	r.closed.Do(func() {
+		close(r.stop)
+		r.stopped.Wait()
+		if r.wal != nil {
+			err := r.wal.Compact(func() []byte {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				snap := walSnapshot{Version: 1, Seq: r.seq}
+				for _, pl := range r.placements {
+					snap.Placements = append(snap.Placements, walPlaced{
+						ID: pl.ID, Node: pl.Node, Attempt: pl.Attempt, Done: pl.Done, Spec: pl.Spec,
+					})
+				}
+				sort.Slice(snap.Placements, func(i, j int) bool {
+					return snap.Placements[i].ID < snap.Placements[j].ID
+				})
+				raw, _ := json.Marshal(snap)
+				return raw
+			})
+			if err != nil {
+				r.cfg.Logf("cluster: router wal compact failed: %v", err)
+			}
+			_ = r.wal.Close()
+		}
+	})
+}
+
+// rebuildRing snapshots the alive set into a fresh hash ring.
+func (r *Router) rebuildRing() {
+	alive := r.members.alive()
+	ids := make([]string, len(alive))
+	for i, m := range alive {
+		ids[i] = m.ID
+	}
+	r.mu.Lock()
+	r.ring = buildRing(ids, r.cfg.VNodes)
+	r.mu.Unlock()
+}
+
+// candidates returns the placement order for a job id: the ring owner
+// first (with its ring successors as deterministic tie-breakers), then
+// any remaining alive members by ascending load. The ring walk already
+// covers every alive member, so the load sort only reorders the
+// non-owner tail.
+func (r *Router) candidates(id string) []MemberInfo {
+	alive := r.members.alive()
+	if len(alive) == 0 {
+		return nil
+	}
+	byID := make(map[string]MemberInfo, len(alive))
+	for _, m := range alive {
+		byID[m.ID] = m
+	}
+	r.mu.Lock()
+	order := r.ring.successors(id)
+	r.mu.Unlock()
+	var out []MemberInfo
+	seen := make(map[string]bool)
+	for _, mid := range order {
+		if m, ok := byID[mid]; ok && !seen[mid] {
+			seen[mid] = true
+			out = append(out, m)
+		}
+	}
+	if len(out) > 1 {
+		tail := out[1:]
+		sort.SliceStable(tail, func(i, j int) bool {
+			li := tail[i].Load.QueueDepth + int(tail[i].Load.Running)
+			lj := tail[j].Load.QueueDepth + int(tail[j].Load.Running)
+			if li != lj {
+				return li < lj
+			}
+			return tail[i].ID < tail[j].ID
+		})
+	}
+	for _, m := range alive { // members not on the ring yet (stale snapshot)
+		if !seen[m.ID] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// nextID assigns the next cluster-wide job id.
+func (r *Router) nextID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	return "c" + strconv.FormatInt(r.seq, 10)
+}
+
+// place submits spec to the cluster under a fresh cluster-wide id.
+// It walks the candidate order, skipping members that are full (429),
+// draining (503), or unreachable; a 400 is the spec's fault and is
+// returned as-is. The returned status carries the owning node and the
+// HTTP code to relay.
+func (r *Router) place(ctx context.Context, spec service.JobSpec) (service.JobStatus, int, error) {
+	id := r.nextID()
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return service.JobStatus{}, http.StatusInternalServerError, err
+	}
+	cands := r.candidates(id)
+	if len(cands) == 0 {
+		return service.JobStatus{}, http.StatusServiceUnavailable,
+			fmt.Errorf("cluster: no alive members")
+	}
+	var lastErr error
+	for _, m := range cands {
+		st, code, err := r.postJob(ctx, m.Addr, id, payload)
+		switch {
+		case err != nil: // transport failure: next candidate
+			r.proxyErrors.Add(1)
+			lastErr = err
+			continue
+		case code == http.StatusAccepted || code == http.StatusOK:
+			st.Node = m.ID
+			r.recordPlacement(id, spec, m.ID)
+			return st, http.StatusAccepted, nil
+		case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("cluster: %s refused placement (%d)", m.ID, code)
+			continue
+		default: // 400 and friends: the spec's problem, relay verbatim
+			return st, code, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no member accepted the job")
+	}
+	return service.JobStatus{}, http.StatusServiceUnavailable, lastErr
+}
+
+func (r *Router) recordPlacement(id string, spec service.JobSpec, node string) {
+	r.mu.Lock()
+	r.placements[id] = &placement{ID: id, Spec: spec, Node: node, Attempt: 1}
+	r.mu.Unlock()
+	r.placedTotal.Add(1)
+	r.appendWAL(walRecord{Type: "place", ID: id, Node: node, Attempt: 1, Spec: &spec})
+}
+
+// postJob POSTs a pre-assigned job to one member. The error return is
+// transport-level only; HTTP answers come back as (status, code, nil).
+func (r *Router) postJob(ctx context.Context, addr, id string, payload []byte) (service.JobStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		addr+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return service.JobStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.JobIDHeader, id)
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return service.JobStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return service.JobStatus{}, 0, err
+	}
+	var st service.JobStatus
+	_ = json.Unmarshal(body, &st)
+	return st, resp.StatusCode, nil
+}
+
+// sweepLoop is the failure detector: expire leases, hand off the jobs
+// of the newly dead, and retry handoffs still pending.
+func (r *Router) sweepLoop() {
+	defer r.stopped.Done()
+	tick := time.NewTicker(r.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.sweepOnce()
+		}
+	}
+}
+
+func (r *Router) sweepOnce() {
+	dead := r.members.sweep()
+	if len(dead) > 0 {
+		r.deadNodes.Add(int64(len(dead)))
+		r.rebuildRing()
+		for _, id := range dead {
+			r.cfg.Logf("cluster: member %s lease expired, handing off its jobs", id)
+			r.handoffNode(id)
+		}
+	}
+	r.reconcile()
+}
+
+// handoffNode re-places every unfinished job owned by the given member.
+func (r *Router) handoffNode(node string) {
+	r.mu.Lock()
+	var todo []*placement
+	for _, pl := range r.placements {
+		if pl.Node == node && !pl.Done {
+			todo = append(todo, pl)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(todo, func(i, j int) bool { return todo[i].ID < todo[j].ID })
+	for _, pl := range todo {
+		r.handoffJob(pl)
+	}
+}
+
+// handoffJob re-submits one placement to a survivor. A job observed
+// running gets its attempt bumped (the new run is a re-execution); a
+// job that never started keeps attempt 1 and re-queues normally.
+func (r *Router) handoffJob(pl *placement) {
+	r.mu.Lock()
+	if pl.Done {
+		r.mu.Unlock()
+		return
+	}
+	deadNode := pl.Node
+	attempt := pl.Attempt
+	if pl.Started {
+		attempt++
+	}
+	hreq := service.HandoffRequest{
+		ID:      pl.ID,
+		Spec:    pl.Spec,
+		Attempt: attempt,
+		Prefix:  append([]service.RoundPoint(nil), pl.Prefix...),
+	}
+	r.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	payload, err := json.Marshal(hreq)
+	if err != nil {
+		return
+	}
+	for _, m := range r.candidates(pl.ID) {
+		if m.ID == deadNode {
+			continue
+		}
+		code, err := r.postHandoff(ctx, m.Addr, payload)
+		if err != nil {
+			r.proxyErrors.Add(1)
+			continue
+		}
+		if code == http.StatusAccepted || code == http.StatusOK {
+			r.mu.Lock()
+			pl.Node = m.ID
+			pl.Attempt = attempt
+			pl.Pending = false
+			pl.orphanAt = time.Time{}
+			r.mu.Unlock()
+			r.handoffs.Add(1)
+			r.appendWAL(walRecord{Type: "handoff", ID: pl.ID, Node: m.ID, Attempt: attempt})
+			r.cfg.Logf("cluster: job %s handed off %s -> %s (attempt %d, %d prefix points)",
+				pl.ID, deadNode, m.ID, attempt, len(hreq.Prefix))
+			return
+		}
+	}
+	r.mu.Lock()
+	pl.Pending = true
+	r.mu.Unlock()
+	r.cfg.Logf("cluster: job %s from %s has no survivor yet; will retry", pl.ID, deadNode)
+}
+
+func (r *Router) postHandoff(ctx context.Context, addr string, payload []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		addr+"/v1/cluster/handoff", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, nil
+}
+
+// reconcile retries pending handoffs and detects orphans: placements
+// pointing at members this (possibly restarted) router has never seen.
+// Orphans get a grace window to re-join before their jobs hand off.
+func (r *Router) reconcile() {
+	now := r.cfg.Now()
+	r.mu.Lock()
+	var retry []*placement
+	for _, pl := range r.placements {
+		if pl.Done {
+			continue
+		}
+		if pl.Pending {
+			retry = append(retry, pl)
+			continue
+		}
+		if m, ok := r.members.get(pl.Node); !ok {
+			if pl.orphanAt.IsZero() {
+				pl.orphanAt = now
+			} else if now.Sub(pl.orphanAt) >= r.cfg.OrphanGrace {
+				retry = append(retry, pl)
+			}
+		} else if m.State == StateAlive {
+			pl.orphanAt = time.Time{}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(retry, func(i, j int) bool { return retry[i].ID < retry[j].ID })
+	for _, pl := range retry {
+		r.handoffJob(pl)
+	}
+}
+
+// syncLoop keeps the placement table fresh: each pass fans out
+// GET /v1/jobs to every alive member, adopts attempt counters and
+// terminal states, and refreshes the trajectory tail of running jobs
+// so a later handoff carries their pre-crash prefix.
+func (r *Router) syncLoop() {
+	defer r.stopped.Done()
+	tick := time.NewTicker(r.cfg.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.syncOnce()
+		}
+	}
+}
+
+func (r *Router) syncOnce() {
+	for _, m := range r.members.alive() {
+		jobs, err := r.fetchJobs(m.Addr)
+		if err != nil {
+			r.scrapeErrors.Add(1)
+			continue
+		}
+		for _, st := range jobs {
+			r.mu.Lock()
+			pl, ok := r.placements[st.ID]
+			if !ok || pl.Node != m.ID {
+				r.mu.Unlock()
+				continue
+			}
+			if st.Attempt > pl.Attempt {
+				pl.Attempt = st.Attempt
+			}
+			if st.Rounds > 0 || st.State == service.StateRunning || st.StartedAt != nil {
+				pl.Started = true
+			}
+			st.Node = m.ID
+			pl.Last = st
+			wantPrefix := !st.Terminal() && pl.Started
+			if st.Terminal() && !pl.Done {
+				pl.Done = true
+				r.mu.Unlock()
+				r.appendWAL(walRecord{Type: "terminal", ID: st.ID, Node: m.ID})
+				continue
+			}
+			r.mu.Unlock()
+			if wantPrefix {
+				if tail, err := r.fetchTail(m.Addr, st.ID); err == nil && len(tail) > 0 {
+					r.mu.Lock()
+					pl.Prefix = tail
+					r.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+func (r *Router) fetchJobs(addr string) ([]service.JobStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s /v1/jobs: %s", addr, resp.Status)
+	}
+	var out struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+func (r *Router) fetchTail(addr, id string) ([]service.RoundPoint, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		addr+"/v1/jobs/"+id+"?tail="+strconv.Itoa(r.cfg.PrefixTail), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: tail fetch failed")
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return st.Trajectory, nil
+}
+
+// Uptime reports time since the router started.
+func (r *Router) Uptime() time.Duration { return time.Since(r.start) }
+
+// placementCount reports tracked (non-deleted) placements.
+func (r *Router) placementCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.placements)
+}

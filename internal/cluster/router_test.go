@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// testNode is one in-process specd node behind a real HTTP server.
+type testNode struct {
+	svc *service.Service
+	srv *httptest.Server
+}
+
+func startNode(t *testing.T, cfg service.Config) *testNode {
+	t.Helper()
+	svc := service.New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return &testNode{svc: svc, srv: srv}
+}
+
+// testRouter builds a router whose loops are parked (huge intervals)
+// so tests drive sweepOnce/syncOnce deterministically, with a fake
+// clock feeding the failure detector.
+func testRouter(t *testing.T) (*Router, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r, err := NewRouter(RouterConfig{
+		LeaseTTL:      time.Second,
+		SweepInterval: time.Hour,
+		SyncInterval:  time.Hour,
+		Now:           clk.now,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(r.Close)
+	return r, clk
+}
+
+func joinNode(t *testing.T, r *Router, id, addr string, inc int64) {
+	t.Helper()
+	resp, changed := r.members.renew(renewRequest{ID: id, Addr: addr, Incarnation: inc}, r.cfg.LeaseTTL)
+	if !resp.OK {
+		t.Fatalf("join %s refused: %+v", id, resp)
+	}
+	if changed {
+		r.rebuildRing()
+	}
+}
+
+func quickSpec() service.JobSpec {
+	return service.JobSpec{Workload: "cc", Controller: "hybrid", Rho: 0.25, Size: 120, Seed: 7, Parallel: 1}
+}
+
+// Placement must follow the ring owner and be a pure function of the
+// id and membership: replaying the same ids yields the same owners.
+func TestRouterPlacementDeterministic(t *testing.T) {
+	n1 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1})
+	n2 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1})
+	r, _ := testRouter(t)
+	joinNode(t, r, "n1", n1.srv.URL, 1)
+	joinNode(t, r, "n2", n2.srv.URL, 1)
+
+	ctx := context.Background()
+	placed := make(map[string]string)
+	for i := 0; i < 8; i++ {
+		st, code, err := r.place(ctx, quickSpec())
+		if err != nil || code != http.StatusAccepted {
+			t.Fatalf("place %d: code=%d err=%v", i, code, err)
+		}
+		if want := func() string { r.mu.Lock(); defer r.mu.Unlock(); return r.ring.lookup(st.ID) }(); st.Node != want {
+			t.Errorf("job %s placed on %s, ring owner is %s", st.ID, st.Node, want)
+		}
+		placed[st.ID] = st.Node
+	}
+	// Determinism: candidates() answers identically for identical input.
+	for id, node := range placed {
+		for i := 0; i < 3; i++ {
+			if got := r.candidates(id)[0].ID; got != node {
+				t.Fatalf("candidates(%s)[0] = %s on repeat %d, want %s", id, got, i, node)
+			}
+		}
+	}
+	// Both nodes should see their placements via the router's view.
+	for id, node := range placed {
+		r.mu.Lock()
+		pl := r.placements[id]
+		r.mu.Unlock()
+		if pl == nil || pl.Node != node {
+			t.Fatalf("placement table missing %s on %s", id, node)
+		}
+	}
+}
+
+// When the ring owner refuses (here: a node that always answers 429),
+// the job must land on the least-loaded survivor instead of failing.
+func TestRouterLeastLoadedFallback(t *testing.T) {
+	full := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer full.Close()
+	n2 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1})
+
+	r, _ := testRouter(t)
+	joinNode(t, r, "full", full.URL, 1)
+	joinNode(t, r, "n2", n2.srv.URL, 1)
+
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		st, code, err := r.place(ctx, quickSpec())
+		if err != nil || code != http.StatusAccepted {
+			t.Fatalf("place: code=%d err=%v", code, err)
+		}
+		if st.Node != "n2" {
+			t.Fatalf("job %s placed on %s, want fallback n2", st.ID, st.Node)
+		}
+	}
+}
+
+// A dead node's unfinished jobs hand off to a survivor, re-running
+// with a bumped attempt and the synced trajectory prefix intact.
+func TestRouterHandoffOnDeath(t *testing.T) {
+	// HistoryCap must exceed the job's total rounds or the ring evicts
+	// the handed-off prefix before the assertion reads it.
+	n1 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1, HistoryCap: 1 << 16})
+	n2 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1, HistoryCap: 1 << 16})
+	r, clk := testRouter(t)
+	joinNode(t, r, "n1", n1.srv.URL, 1)
+	joinNode(t, r, "n2", n2.srv.URL, 1)
+
+	// A slow multi-round job so it is still running at handoff time.
+	slow := service.JobSpec{Workload: "mesh", Controller: "fixed", FixedM: 2, Size: 20000, Seed: 3, Parallel: 1}
+	ctx := context.Background()
+	var victims []string
+	for len(victims) < 1 {
+		st, code, err := r.place(ctx, slow)
+		if err != nil || code != http.StatusAccepted {
+			t.Fatalf("place: code=%d err=%v", code, err)
+		}
+		if st.Node == "n1" {
+			victims = append(victims, st.ID)
+		}
+	}
+	id := victims[0]
+
+	// Let it make progress, then sync so the router caches the prefix.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r.syncOnce()
+		r.mu.Lock()
+		pl := r.placements[id]
+		started, rounds, prefix := pl.Started, pl.Last.Rounds, len(pl.Prefix)
+		r.mu.Unlock()
+		if started && rounds >= 2 && prefix >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never progressed: started=%v rounds=%d prefix=%d", id, started, rounds, prefix)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// n1 dies: its lease expires while n2 keeps renewing.
+	clk.advance(r.cfg.LeaseTTL / 2)
+	joinNode(t, r, "n2", n2.srv.URL, 1) // renewal
+	clk.advance(3 * r.cfg.LeaseTTL / 4) // n1 now past its deadline
+	r.sweepOnce()
+
+	r.mu.Lock()
+	pl := r.placements[id]
+	node, attempt := pl.Node, pl.Attempt
+	r.mu.Unlock()
+	if node != "n2" || attempt < 2 {
+		t.Fatalf("after sweep: job %s on %s attempt %d, want n2 attempt>=2", id, node, attempt)
+	}
+
+	// The survivor must run it to completion under the same id with the
+	// pre-crash prefix at the front of the trajectory.
+	var final service.JobStatus
+	for {
+		st, ok := n2.svc.JobTail(id, -1)
+		if !ok {
+			t.Fatalf("survivor does not know job %s", id)
+		}
+		if st.Terminal() {
+			final = st
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal on survivor: %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("handed-off job finished %s (%s), want done", final.State, final.Error)
+	}
+	if final.Attempt < 2 {
+		t.Fatalf("handed-off job attempt = %d, want >= 2", final.Attempt)
+	}
+	var prefixPts, rerunPts int
+	for _, p := range final.Trajectory {
+		if p.Attempt == 0 {
+			prefixPts++
+		} else if p.Attempt == final.Attempt {
+			rerunPts++
+		}
+	}
+	if prefixPts == 0 || rerunPts == 0 {
+		t.Fatalf("trajectory should mix pre-crash prefix and rerun points, got prefix=%d rerun=%d", prefixPts, rerunPts)
+	}
+}
+
+// While a job's owner is down, the router serves the cached last-known
+// status instead of erroring, so pollers ride through the failover.
+func TestRouterServesCachedStatusWhileOwnerDown(t *testing.T) {
+	n1 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1})
+	r, clk := testRouter(t)
+	joinNode(t, r, "n1", n1.srv.URL, 1)
+
+	// A long-running job, so it is still live when its owner dies.
+	ctx := context.Background()
+	st, code, err := r.place(ctx, service.JobSpec{
+		Workload: "mesh", Controller: "fixed", FixedM: 2, Size: 20000, Seed: 3, Parallel: 1,
+	})
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("place: code=%d err=%v", code, err)
+	}
+	r.syncOnce()
+
+	// Kill the lease (no survivors: the handoff stays pending).
+	clk.advance(2 * r.cfg.LeaseTTL)
+	r.sweepOnce()
+
+	rsrv := httptest.NewServer(r.Handler())
+	defer rsrv.Close()
+	resp, err := http.Get(rsrv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatalf("GET cached: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached status answered %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Specd-Cached") != "1" {
+		t.Fatalf("expected the cached-response marker header")
+	}
+
+	r.mu.Lock()
+	pending := r.placements[st.ID].Pending
+	r.mu.Unlock()
+	if !pending {
+		t.Fatalf("placement should be pending handoff with no survivors")
+	}
+}

@@ -51,7 +51,7 @@ func TestChaosServiceSurvivesInjectedFaults(t *testing.T) {
 	go func() {
 		defer healthWG.Done()
 		for healthCtx.Err() == nil {
-			if err := c.Health(healthCtx); err != nil && healthCtx.Err() == nil {
+			if _, err := c.Health(healthCtx); err != nil && healthCtx.Err() == nil {
 				healthFailures.Add(1)
 				t.Logf("healthz failed mid-chaos: %v", err)
 			}

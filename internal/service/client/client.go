@@ -45,6 +45,11 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to a client with a 10s request timeout.
 	HTTPClient *http.Client
+	// Observe, when set, receives one callback per completed HTTP
+	// request: the method, the request path, the response status (0 on a
+	// transport error), and the elapsed wall time. specload's per-target
+	// latency histograms hang off this hook.
+	Observe func(method, path string, status int, elapsed time.Duration)
 }
 
 // New returns a client for the given base URL.
@@ -55,8 +60,22 @@ func New(baseURL string) *Client {
 	}
 }
 
-func (c *Client) do(req *http.Request, out any) (int, error) {
+// roundTrip issues the request, reporting it to the Observe hook.
+func (c *Client) roundTrip(req *http.Request) (*http.Response, error) {
+	start := time.Now()
 	resp, err := c.HTTPClient.Do(req)
+	if c.Observe != nil {
+		status := 0
+		if err == nil {
+			status = resp.StatusCode
+		}
+		c.Observe(req.Method, req.URL.Path, status, time.Since(start))
+	}
+	return resp, err
+}
+
+func (c *Client) do(req *http.Request, out any) (int, error) {
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return 0, err
 	}
@@ -126,6 +145,13 @@ type RetryStats struct {
 // floored at the server's Retry-After hint and capped at Max. Any
 // non-busy result (success or other error) returns immediately.
 func (c *Client) SubmitRetry(ctx context.Context, spec service.JobSpec, p Backoff) (service.JobStatus, RetryStats, error) {
+	return submitRetry(ctx, c.Submit, spec, p)
+}
+
+// submitRetry is the shared backoff loop behind Client.SubmitRetry and
+// Cluster.SubmitRetry.
+func submitRetry(ctx context.Context, submit func(context.Context, service.JobSpec) (service.JobStatus, error),
+	spec service.JobSpec, p Backoff) (service.JobStatus, RetryStats, error) {
 	base := p.Base
 	if base <= 0 {
 		base = 50 * time.Millisecond
@@ -139,7 +165,7 @@ func (c *Client) SubmitRetry(ctx context.Context, spec service.JobSpec, p Backof
 	var stats RetryStats
 	for {
 		stats.Attempts++
-		st, err := c.Submit(ctx, spec)
+		st, err := submit(ctx, spec)
 		var be *BusyError
 		if err == nil || !errors.As(err, &be) || stats.Attempts > p.MaxRetries {
 			return st, stats, err
@@ -210,15 +236,21 @@ func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
 	return out.Jobs, err
 }
 
-// Wait polls the job every poll interval until it reaches a terminal
-// state or ctx expires.
+// Wait polls the job until it reaches a terminal state or ctx expires.
+// Each wait between polls is jittered uniformly over [¾·poll, 1¼·poll)
+// so a cluster of waiters started together does not synchronize into
+// lock-step polling bursts, and the ctx deadline is honored both
+// between polls and before each request.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	r := rng.New(uint64(time.Now().UnixNano()))
+	var last service.JobStatus
 	for {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
 		st, err := c.Job(ctx, id)
 		if err != nil {
 			return st, err
@@ -226,9 +258,13 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (servi
 		if st.Terminal() {
 			return st, nil
 		}
+		last = st
+		wait := 3*poll/4 + time.Duration(r.Float64()*float64(poll/2))
+		t := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
-			return st, ctx.Err()
+			t.Stop()
+			return last, ctx.Err()
 		case <-t.C:
 		}
 	}
@@ -240,7 +276,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.HTTPClient.Do(req)
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return "", err
 	}
@@ -255,12 +291,30 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(body), nil
 }
 
-// Health reports whether the server answers /healthz with 200.
-func (c *Client) Health(ctx context.Context) error {
+// Health fetches and parses /healthz. The parsed body is returned even
+// alongside a non-200 error (a draining server still reports its
+// status, queue depth, and identity), so callers can both gate on the
+// error and inspect the fields.
+func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
-		return err
+		return service.Health{}, err
 	}
-	_, err = c.do(req, nil)
-	return err
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return service.Health{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return service.Health{}, err
+	}
+	var h service.Health
+	if uerr := json.Unmarshal(body, &h); uerr != nil && resp.StatusCode == http.StatusOK {
+		return h, fmt.Errorf("client: decoding healthz: %w", uerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("client: %s", resp.Status)
+	}
+	return h, nil
 }

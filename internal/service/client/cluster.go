@@ -1,0 +1,199 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/service"
+)
+
+// Cluster is a cluster-aware client: it addresses a list of specd front
+// doors (normally routers, but standalone nodes work too), sends each
+// request to its current target, and fails over to the next target on a
+// transport error. HTTP-level errors (400, 404, 429, ...) are answers,
+// not outages, and are returned without failing over; a connection
+// refusal or timeout rotates to the next target and sticks there, so
+// pollers ride through a dead or restarting front door.
+type Cluster struct {
+	clients []*Client
+
+	mu   sync.Mutex
+	cur  int    // index of the current (last healthy) target
+	last string // base URL that served the most recent request
+}
+
+// NewCluster returns a cluster client over the given base URLs, in
+// preference order.
+func NewCluster(targets ...string) *Cluster {
+	cs := make([]*Client, len(targets))
+	for i, t := range targets {
+		cs[i] = New(t)
+	}
+	return &Cluster{clients: cs}
+}
+
+// NewClusterFrom wraps pre-built per-target clients (callers that set
+// HTTPClient or Observe per target build them first).
+func NewClusterFrom(clients ...*Client) *Cluster {
+	return &Cluster{clients: append([]*Client(nil), clients...)}
+}
+
+// Targets lists the configured base URLs in preference order.
+func (cc *Cluster) Targets() []string {
+	out := make([]string, len(cc.clients))
+	for i, c := range cc.clients {
+		out[i] = c.BaseURL
+	}
+	return out
+}
+
+// LastTarget returns the base URL that served the most recent request
+// ("" before the first one).
+func (cc *Cluster) LastTarget() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.last
+}
+
+// transportErr reports whether err is a connection-level failure worth
+// failing over for, rather than an HTTP answer or a caller cancel.
+func transportErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// each runs f against targets starting at the current one, rotating on
+// transport errors until a target answers or every target has failed.
+func (cc *Cluster) each(ctx context.Context, f func(c *Client) error) error {
+	cc.mu.Lock()
+	start := cc.cur
+	cc.mu.Unlock()
+	n := len(cc.clients)
+	var err error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		c := cc.clients[idx]
+		err = f(c)
+		if transportErr(err) && ctx.Err() == nil {
+			continue
+		}
+		cc.mu.Lock()
+		cc.cur, cc.last = idx, c.BaseURL
+		cc.mu.Unlock()
+		return err
+	}
+	return err
+}
+
+// Submit posts a job spec to the first reachable target.
+func (cc *Cluster) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := cc.each(ctx, func(c *Client) (err error) {
+		st, err = c.Submit(ctx, spec)
+		return err
+	})
+	return st, err
+}
+
+// SubmitRetry submits with the same jittered 429 backoff as
+// Client.SubmitRetry, failing over between targets on transport errors.
+func (cc *Cluster) SubmitRetry(ctx context.Context, spec service.JobSpec, p Backoff) (service.JobStatus, RetryStats, error) {
+	return submitRetry(ctx, cc.Submit, spec, p)
+}
+
+// Job fetches one job's status (full trajectory) with failover.
+func (cc *Cluster) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	return cc.JobTail(ctx, id, -1)
+}
+
+// JobTail fetches one job's status with at most tail trajectory points,
+// with failover.
+func (cc *Cluster) JobTail(ctx context.Context, id string, tail int) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := cc.each(ctx, func(c *Client) (err error) {
+		st, err = c.JobTail(ctx, id, tail)
+		return err
+	})
+	return st, err
+}
+
+// Jobs lists every job known to the first reachable target.
+func (cc *Cluster) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := cc.each(ctx, func(c *Client) (err error) {
+		out, err = c.Jobs(ctx)
+		return err
+	})
+	return out, err
+}
+
+// Cancel cancels a job through the first reachable target.
+func (cc *Cluster) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := cc.each(ctx, func(c *Client) (err error) {
+		st, err = c.Cancel(ctx, id)
+		return err
+	})
+	return st, err
+}
+
+// Health fetches /healthz from the first reachable target.
+func (cc *Cluster) Health(ctx context.Context) (service.Health, error) {
+	var h service.Health
+	err := cc.each(ctx, func(c *Client) (err error) {
+		h, err = c.Health(ctx)
+		return err
+	})
+	return h, err
+}
+
+// Metrics fetches /metrics from the first reachable target.
+func (cc *Cluster) Metrics(ctx context.Context) (string, error) {
+	var m string
+	err := cc.each(ctx, func(c *Client) (err error) {
+		m, err = c.Metrics(ctx)
+		return err
+	})
+	return m, err
+}
+
+// Wait polls the job with jittered intervals (see Client.Wait) until it
+// is terminal or ctx expires, failing over between targets as needed.
+func (cc *Cluster) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	r := rng.New(uint64(time.Now().UnixNano()))
+	var last service.JobStatus
+	for {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
+		st, err := cc.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		last = st
+		wait := 3*poll/4 + time.Duration(r.Float64()*float64(poll/2))
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return last, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

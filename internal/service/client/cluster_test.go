@@ -1,0 +1,89 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// With the first target dead, every call must fail over to the live
+// one and stick there for subsequent requests.
+func TestClusterFailsOverFromDeadTarget(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueCap: 8, DefaultParallel: 1})
+	defer svc.Shutdown(context.Background())
+	live := httptest.NewServer(svc.Handler())
+	defer live.Close()
+
+	// A dead target: a server bound then closed, so dials are refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	cc := NewCluster(deadURL, live.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st, err := cc.Submit(ctx, service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 150, Seed: 1, Parallel: 1})
+	if err != nil {
+		t.Fatalf("Submit should fail over: %v", err)
+	}
+	if got := cc.LastTarget(); got != live.URL {
+		t.Fatalf("LastTarget = %q, want the live target %q", got, live.URL)
+	}
+
+	final, err := cc.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("job finished %s (%s), want done", final.State, final.Error)
+	}
+
+	if h, err := cc.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("Health = %+v, %v", h, err)
+	}
+	if jobs, err := cc.Jobs(ctx); err != nil || len(jobs) != 1 {
+		t.Fatalf("Jobs = %d rows, %v; want 1", len(jobs), err)
+	}
+}
+
+// HTTP-level errors are answers, not outages: a 404 from the current
+// target must come straight back instead of rotating targets.
+func TestClusterDoesNotFailOverOnHTTPErrors(t *testing.T) {
+	var aHits, bHits int
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aHits++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bHits++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer b.Close()
+
+	cc := NewCluster(a.URL, b.URL)
+	ctx := context.Background()
+	if _, err := cc.Job(ctx, "nope"); err == nil {
+		t.Fatal("expected a 404 error")
+	}
+	if aHits != 1 || bHits != 0 {
+		t.Fatalf("hits a=%d b=%d; a 404 must not rotate targets", aHits, bHits)
+	}
+}
+
+func TestClusterAllTargetsDown(t *testing.T) {
+	a := httptest.NewServer(http.NotFoundHandler())
+	aURL := a.URL
+	a.Close()
+	cc := NewCluster(aURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cc.Health(ctx); err == nil {
+		t.Fatal("expected an error with every target down")
+	}
+}

@@ -89,8 +89,10 @@ func TestE2E(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
-	if err := c.Health(ctx); err != nil {
+	if h, err := c.Health(ctx); err != nil {
 		t.Fatalf("healthz: %v", err)
+	} else if h.Role != "standalone" {
+		t.Fatalf("healthz role = %q, want standalone", h.Role)
 	}
 
 	specs := []service.JobSpec{
@@ -203,8 +205,10 @@ func TestE2E(t *testing.T) {
 	}
 	// The HTTP server is still up (specd drains the service first): the
 	// status API must answer and report the drain outcome.
-	if err := c.Health(ctx); err == nil {
+	if h, err := c.Health(ctx); err == nil {
 		t.Error("healthz still ok after drain, want 503")
+	} else if h.Status != "draining" {
+		t.Errorf("healthz body status = %q after drain, want draining", h.Status)
 	}
 	st, err := c.Job(ctx, queued.ID)
 	if err != nil {

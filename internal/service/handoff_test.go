@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+func TestSubmitPlacedDuplicateID(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 8})
+	defer s.Shutdown(context.Background())
+
+	st, err := s.SubmitPlaced("c7", ccSpec(1))
+	if err != nil {
+		t.Fatalf("SubmitPlaced: %v", err)
+	}
+	if st.ID != "c7" {
+		t.Fatalf("placed id = %s, want c7", st.ID)
+	}
+	dup, err := s.SubmitPlaced("c7", ccSpec(2))
+	if err != ErrDupJob {
+		t.Fatalf("duplicate placement err = %v, want ErrDupJob", err)
+	}
+	if dup.ID != "c7" {
+		t.Fatalf("duplicate placement should return the existing status, got %+v", dup)
+	}
+	if final := waitTerminal(t, s, "c7", 30*time.Second); final.Spec.Seed != 1 {
+		t.Fatalf("duplicate submit overwrote the original spec: seed %d", final.Spec.Seed)
+	}
+
+	for _, bad := range []string{"", "has space", "sl/ash", string(make([]byte, 80))} {
+		if _, err := s.SubmitPlaced(bad, ccSpec(1)); err == nil {
+			t.Errorf("SubmitPlaced(%q) accepted an invalid id", bad)
+		}
+	}
+}
+
+// A handoff re-runs the job under its cluster id at the given attempt,
+// with the dead node's trajectory prefix ahead of the rerun's points.
+func TestSubmitHandoffRerunsWithPrefix(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 8})
+	defer s.Shutdown(context.Background())
+
+	prefix := []RoundPoint{
+		{Round: 1, M: 2, Launched: 2, Committed: 1, Aborted: 1, R: 0.5},
+		{Round: 2, M: 3, Launched: 3, Committed: 2, Aborted: 1, R: 0.33},
+	}
+	st, err := s.SubmitHandoff(HandoffRequest{ID: "c9", Spec: ccSpec(4), Attempt: 2, Prefix: prefix})
+	if err != nil {
+		t.Fatalf("SubmitHandoff: %v", err)
+	}
+	if st.State != StateRecovered || st.Attempt != 2 {
+		t.Fatalf("handoff accepted as %s attempt %d, want recovered attempt 2", st.State, st.Attempt)
+	}
+	if s.HandedOff() != 1 {
+		t.Fatalf("HandedOff = %d, want 1", s.HandedOff())
+	}
+
+	final := waitTerminal(t, s, "c9", 30*time.Second)
+	if final.State != StateDone || final.Attempt != 2 {
+		t.Fatalf("handed-off job finished %s attempt %d (%s), want done attempt 2", final.State, final.Attempt, final.Error)
+	}
+	if len(final.Trajectory) <= len(prefix) {
+		t.Fatalf("trajectory has %d points, want the %d-point prefix plus rerun rounds", len(final.Trajectory), len(prefix))
+	}
+	for i, p := range prefix {
+		got := final.Trajectory[i]
+		if got.Round != p.Round || got.M != p.M || got.Attempt != 0 {
+			t.Fatalf("trajectory[%d] = %+v, want preserved prefix point %+v (attempt untagged)", i, got, p)
+		}
+	}
+	for _, p := range final.Trajectory[len(prefix):] {
+		if p.Attempt != 2 {
+			t.Fatalf("rerun point %+v not tagged attempt 2", p)
+		}
+	}
+
+	// Redelivery of the same handoff is idempotent.
+	if _, err := s.SubmitHandoff(HandoffRequest{ID: "c9", Spec: ccSpec(4), Attempt: 2, Prefix: prefix}); err != ErrDupJob {
+		t.Fatalf("handoff redelivery err = %v, want ErrDupJob", err)
+	}
+
+	// Absurd attempts are refused rather than poisoning the counters.
+	if _, err := s.SubmitHandoff(HandoffRequest{ID: "c10", Spec: ccSpec(5), Attempt: 1 << 21}); err == nil {
+		t.Fatal("SubmitHandoff accepted an absurd attempt counter")
+	}
+}
+
+// A handoff accepted by a durable node must survive that node's own
+// crash: the WAL handoff record restores the attempt counter and
+// prefix, and recovery re-runs the job. The crash is modeled the way
+// the other recovery tests do it — by crafting the exact WAL a node
+// writes between accepting a handoff and dying.
+func TestHandoffSurvivesCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	jnl, err := journal.Open(dir, journal.Options{Fsync: journal.SyncAlways})
+	if err != nil {
+		t.Fatalf("journal open: %v", err)
+	}
+	append1 := func(rec walRecord) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if err := jnl.Append(b); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	spec := ccSpec(6)
+	spec.Rho = 0.25 // crafted records skip Submit's normalization
+	spec.MaxRounds = 1 << 30
+	prefix := []RoundPoint{{Round: 1, M: 2, Launched: 2, Committed: 2, R: 0}}
+	now := time.Now()
+	append1(walRecord{Type: recSubmitted, ID: "c3", At: now, Spec: &spec})
+	append1(walRecord{Type: recHandoff, ID: "c3", At: now, Attempt: 3, Points: prefix})
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	s2, err := Open(Config{Workers: 1, QueueCap: 8, StateDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Shutdown(context.Background())
+
+	final := waitTerminal(t, s2, "c3", 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("restored handoff finished %s (%s), want done", final.State, final.Error)
+	}
+	if final.Attempt != 3 {
+		t.Fatalf("restored handoff attempt = %d, want 3 (from the WAL handoff record)", final.Attempt)
+	}
+	if len(final.Trajectory) == 0 || final.Trajectory[0].Round != 1 || final.Trajectory[0].Attempt != 0 {
+		t.Fatalf("restored trajectory lost the handoff prefix: %+v", final.Trajectory)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler returns the service's HTTP API:
@@ -20,8 +21,19 @@ import (
 //	                     status, 404 unknown, 409 already terminal
 //	GET    /metrics      Prometheus text exposition
 //	GET    /healthz      200 {"status":"ok",...} with queue depth,
-//	                     in-flight jobs, and poisoned-task count /
-//	                     503 {"status":"draining"}
+//	                     in-flight jobs, poisoned-task count, and the
+//	                     node's cluster identity (node_id, role,
+//	                     lease_expires) / 503 {"status":"draining"}
+//
+//	POST   /v1/cluster/handoff
+//	                     accept a job handed off from a dead cluster
+//	                     member (HandoffRequest): 202 with the recovered
+//	                     JobStatus, 200 if the id already exists
+//	                     (idempotent redelivery), 429/503/400 as above
+//
+// POST /v1/jobs additionally honors an X-Specd-Job-Id request header:
+// the cluster router pre-assigns cluster-wide job ids with it (see
+// SubmitPlaced); a duplicate id answers 200 with the existing status.
 //
 // pprof is not mounted here; cmd/specd adds it opt-in.
 func (s *Service) Handler() http.Handler {
@@ -30,13 +42,21 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/cluster/handoff", s.handleHandoff)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
+// JobIDHeader carries a router-assigned job id on POST /v1/jobs.
+const JobIDHeader = "X-Specd-Job-Id"
+
 // maxSpecBytes bounds POST bodies; specs are a few hundred bytes.
 const maxSpecBytes = 1 << 16
+
+// maxHandoffBytes bounds handoff bodies, which carry a trajectory
+// prefix on top of the spec.
+const maxHandoffBytes = 4 << 20
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -58,11 +78,24 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
 		return
 	}
-	st, err := s.Submit(spec)
+	var st JobStatus
+	var err error
+	if id := r.Header.Get(JobIDHeader); id != "" {
+		st, err = s.SubmitPlaced(id, spec)
+	} else {
+		st, err = s.Submit(spec)
+	}
+	s.writeSubmitResult(w, st, err)
+}
+
+// writeSubmitResult maps the shared admission outcomes onto HTTP.
+func (s *Service) writeSubmitResult(w http.ResponseWriter, st JobStatus, err error) {
 	var specErr *SpecError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrDupJob):
+		writeJSON(w, http.StatusOK, st)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
@@ -73,6 +106,29 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
+}
+
+// HandoffRequest is the wire form of a cluster job handoff (POST
+// /v1/cluster/handoff): re-run the job from spec on this node under its
+// cluster-wide id, at the attempt the router learned before the
+// original node died, with the trajectory prefix it had synced.
+type HandoffRequest struct {
+	ID      string       `json:"id"`
+	Spec    JobSpec      `json:"spec"`
+	Attempt int          `json:"attempt"`
+	Prefix  []RoundPoint `json:"prefix,omitempty"`
+}
+
+func (s *Service) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	var req HandoffRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHandoffBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad handoff: " + err.Error()})
+		return
+	}
+	st, err := s.SubmitHandoff(req)
+	s.writeSubmitResult(w, st, err)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -118,10 +174,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.WriteMetrics(w)
 }
 
-// healthBody is the /healthz payload. Queue depth, in-flight jobs, and
-// poisoned-task count let load balancers shed before the 429 cliff;
-// journal/recovered_jobs report durability and last-startup recovery.
-type healthBody struct {
+// Health is the /healthz payload, shared by nodes and the cluster
+// router. Queue depth, in-flight jobs, and poisoned-task count let load
+// balancers shed before the 429 cliff; journal/recovered_jobs report
+// durability and last-startup recovery; node_id/role/lease_expires
+// identify the process inside a cluster. The router-only fields
+// (members, placements) are zero on a node.
+type Health struct {
 	Status        string  `json:"status"`
 	Uptime        float64 `json:"uptime_seconds"`
 	QueueDepth    int     `json:"queue_depth"`
@@ -129,10 +188,24 @@ type healthBody struct {
 	PoisonedTasks int64   `json:"poisoned_tasks"`
 	Journal       bool    `json:"journal"`
 	RecoveredJobs int64   `json:"recovered_jobs,omitempty"`
+	HandoffJobs   int64   `json:"handoff_jobs,omitempty"`
+
+	// Cluster identity: the node's id, its role ("standalone", "node",
+	// or "router"), and — when the node holds a membership lease — the
+	// lease deadline it last renewed to.
+	NodeID       string     `json:"node_id,omitempty"`
+	Role         string     `json:"role"`
+	LeaseExpires *time.Time `json:"lease_expires,omitempty"`
+
+	// Router-only: membership counts by state and tracked placements.
+	Members    map[string]int `json:"members,omitempty"`
+	Placements int            `json:"placements,omitempty"`
 }
 
-func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	body := healthBody{
+// HealthStatus assembles the current /healthz payload.
+func (s *Service) HealthStatus() Health {
+	nodeID, role, lease := s.clusterIdentity()
+	body := Health{
 		Status:        "ok",
 		Uptime:        s.Uptime().Seconds(),
 		QueueDepth:    s.QueueDepth(),
@@ -140,9 +213,20 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		PoisonedTasks: s.PoisonedTotal(),
 		Journal:       s.Durable(),
 		RecoveredJobs: s.Recovered(),
+		HandoffJobs:   s.HandedOff(),
+		NodeID:        nodeID,
+		Role:          role,
+		LeaseExpires:  lease,
 	}
 	if s.Draining() {
 		body.Status = "draining"
+	}
+	return body
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body := s.HealthStatus()
+	if body.Status == "draining" {
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}

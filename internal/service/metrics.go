@@ -94,6 +94,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(&b, "specd_journal_fsyncs_total %d\n", jst.Fsyncs)
 	header("specd_recovered_jobs_total", "Jobs restarted from spec by crash recovery at startup.", "counter")
 	fmt.Fprintf(&b, "specd_recovered_jobs_total %d\n", s.Recovered())
+	header("specd_handoff_jobs_total", "Jobs accepted from dead cluster members via handoff.", "counter")
+	fmt.Fprintf(&b, "specd_handoff_jobs_total %d\n", s.HandedOff())
 
 	header("specd_uptime_seconds", "Seconds since the service started.", "gauge")
 	fmt.Fprintf(&b, "specd_uptime_seconds %s\n", formatFloat(s.Uptime().Seconds()))

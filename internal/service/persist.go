@@ -24,6 +24,7 @@ const (
 	recStarted    = "started"    // a worker began an attempt
 	recCheckpoint = "checkpoint" // periodic round checkpoint (every K rounds)
 	recFinished   = "finished"   // terminal transition: done, failed, or canceled
+	recHandoff    = "handoff"    // job accepted from a dead cluster member (StateRecovered)
 )
 
 // walRecord is the wire form of one journaled transition. Fields are
@@ -128,6 +129,22 @@ func (s *Service) journalStarted(id string, attempt int, at time.Time) {
 		return
 	}
 	s.appendRecord(walRecord{Type: recStarted, ID: id, At: at, Attempt: attempt})
+}
+
+// journalHandoff records a handed-off admission: the job is in
+// StateRecovered at the given attempt with the handed-over trajectory
+// prefix, so a crash before the re-run starts recovers the same state.
+func (s *Service) journalHandoff(j *job, prefix []RoundPoint) {
+	if s.jnl == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := walRecord{Type: recHandoff, ID: j.status.ID, At: time.Now(), Attempt: j.status.Attempt}
+	j.mu.Unlock()
+	if len(prefix) > 0 {
+		rec.Points = append([]RoundPoint(nil), prefix...)
+	}
+	s.appendRecord(rec)
 }
 
 // progressRecord captures the job's attempt-local progress under its
@@ -356,6 +373,17 @@ func (s *Service) restoreState(rep *journal.Replayed) (*restored, error) {
 			st.Attempt = rec.Attempt
 			st.State = StateRunning
 			applyProgress(j, rec)
+			push(j, m, rec.Points)
+		case recHandoff:
+			// A handed-off admission: recovered at the recorded attempt
+			// with the handed-over prefix. A later started record at the
+			// same attempt flips the state to running (and, replayed again
+			// after the attempt finished, the finished record wins).
+			if st.Terminal() || rec.Attempt < st.Attempt {
+				continue
+			}
+			st.Attempt = rec.Attempt
+			st.State = StateRecovered
 			push(j, m, rec.Points)
 		case recFinished:
 			if rec.Attempt < st.Attempt {

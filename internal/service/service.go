@@ -44,6 +44,10 @@ var (
 	ErrNoJob = errors.New("service: no such job")
 	// ErrJobTerminal signals a cancel of an already-finished job (HTTP 409).
 	ErrJobTerminal = errors.New("service: job already terminal")
+	// ErrDupJob signals a placed or handed-off submission whose id
+	// already exists; the caller gets the existing status alongside it,
+	// making redelivery idempotent (HTTP 200).
+	ErrDupJob = errors.New("service: job id already exists")
 )
 
 // SpecError marks an invalid job specification (HTTP 400).
@@ -143,6 +147,10 @@ type JobStatus struct {
 	State       State      `json:"state"`
 	Spec        JobSpec    `json:"spec"`
 	SubmittedAt time.Time  `json:"submitted_at"`
+	// Node is the cluster member the job is placed on. It is filled in
+	// by the router front door; a node reporting its own jobs leaves it
+	// empty.
+	Node string `json:"node,omitempty"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// Attempt counts executions of this job: 1 normally, bumped each
@@ -386,6 +394,18 @@ type Service struct {
 	rejected  atomic.Int64
 	running   atomic.Int64 // jobs currently executing rounds
 
+	// placedMu serializes explicit-id submissions (router placements and
+	// handoffs) so a duplicate delivery observes the first copy instead
+	// of racing it into the queue.
+	placedMu  sync.Mutex
+	handedOff atomic.Int64 // jobs accepted via SubmitHandoff
+
+	// Cluster identity reported on /healthz; see SetClusterIdentity.
+	idMu         sync.Mutex
+	nodeID       string
+	role         string
+	leaseExpires func() time.Time
+
 	jnl        *journal.Journal // nil when StateDir is unset
 	recovered  atomic.Int64     // jobs restarted from spec after a crash
 	compacting atomic.Bool
@@ -556,6 +576,60 @@ func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
 // Submit validates and enqueues a job. It returns the queued job's
 // status, or ErrQueueFull / ErrDraining / a *SpecError.
 func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	return s.submit("", spec, 1, nil)
+}
+
+// SubmitPlaced enqueues a job under a caller-assigned id — the cluster
+// router submits placed jobs this way so a job keeps one id across the
+// whole cluster. Resubmitting an existing id returns that job's current
+// status alongside ErrDupJob, making router retries idempotent.
+func (s *Service) SubmitPlaced(id string, spec JobSpec) (JobStatus, error) {
+	if err := validJobID(id); err != nil {
+		return JobStatus{}, err
+	}
+	return s.submit(id, spec, 1, nil)
+}
+
+// SubmitHandoff accepts a job handed off from a dead cluster member:
+// it re-runs from spec under its original cluster-wide id through the
+// StateRecovered path, with the attempt counter the router learned
+// before the node died and the pre-crash trajectory prefix seeded into
+// the history ring. An Attempt of 1 with no prefix re-queues the job as
+// a normal first execution (it never started on the dead node).
+func (s *Service) SubmitHandoff(req HandoffRequest) (JobStatus, error) {
+	if err := validJobID(req.ID); err != nil {
+		return JobStatus{}, err
+	}
+	if req.Attempt < 1 {
+		req.Attempt = 1
+	}
+	if req.Attempt > 1<<20 {
+		return JobStatus{}, specErrf("handoff attempt %d out of range", req.Attempt)
+	}
+	return s.submit(req.ID, req.Spec, req.Attempt, req.Prefix)
+}
+
+// validJobID bounds explicit job ids to something path- and
+// journal-safe.
+func validJobID(id string) error {
+	if id == "" || len(id) > 64 {
+		return specErrf("job id must be 1..64 characters")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return specErrf("job id %q contains %q (want [A-Za-z0-9._-])", id, c)
+		}
+	}
+	return nil
+}
+
+// submit is the shared admission path. id == "" allocates a local
+// "j<N>" id; attempt > 1 or a non-empty prefix admits the job in
+// StateRecovered (the handoff case).
+func (s *Service) submit(id string, spec JobSpec, attempt int, prefix []RoundPoint) (JobStatus, error) {
 	if s.draining.Load() {
 		return JobStatus{}, ErrDraining
 	}
@@ -563,16 +637,35 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
+	if id == "" {
+		id = fmt.Sprintf("j%d", s.nextID.Add(1))
+	} else {
+		s.placedMu.Lock()
+		defer s.placedMu.Unlock()
+		s.mu.Lock()
+		dup, ok := s.jobs[id]
+		s.mu.Unlock()
+		if ok {
+			return dup.snapshot(0), ErrDupJob
+		}
+	}
 	j := &job{
 		status: JobStatus{
-			ID:          fmt.Sprintf("j%d", s.nextID.Add(1)),
+			ID:          id,
 			State:       StateQueued,
 			Spec:        spec,
 			SubmittedAt: time.Now(),
-			Attempt:     1,
+			Attempt:     attempt,
 		},
 		hist:     ring{buf: make([]RoundPoint, 0, s.cfg.HistoryCap)},
 		cancelCh: make(chan struct{}),
+	}
+	recovered := attempt > 1 || len(prefix) > 0
+	if recovered {
+		j.status.State = StateRecovered
+		for _, p := range prefix {
+			j.hist.push(p)
+		}
 	}
 	// Reserve the queue slot first: admission control must reject before
 	// the job becomes externally visible.
@@ -583,11 +676,17 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, ErrQueueFull
 	}
 	s.mu.Lock()
-	s.jobs[j.status.ID] = j
-	s.order = append(s.order, j.status.ID)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.submitted.Add(1)
 	s.journalSubmitted(j)
+	if recovered {
+		s.handedOff.Add(1)
+		s.journalHandoff(j, prefix)
+		s.cfg.Logf("specd: job %s accepted by handoff (attempt %d, %d prefix points)",
+			id, attempt, len(prefix))
+	}
 	return j.snapshot(0), nil
 }
 
@@ -683,6 +782,35 @@ func (s *Service) Durable() bool { return s.jnl != nil }
 // Recovered returns the number of jobs restarted from spec after a
 // crash (counted at startup replay).
 func (s *Service) Recovered() int64 { return s.recovered.Load() }
+
+// HandedOff returns the number of jobs this node accepted via cluster
+// handoff (SubmitHandoff).
+func (s *Service) HandedOff() int64 { return s.handedOff.Load() }
+
+// SetClusterIdentity labels /healthz with this node's cluster identity:
+// its node id, its role ("node", "router", or the default
+// "standalone"), and an optional callback reporting the node's current
+// membership-lease deadline.
+func (s *Service) SetClusterIdentity(nodeID, role string, leaseExpires func() time.Time) {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	s.nodeID, s.role, s.leaseExpires = nodeID, role, leaseExpires
+}
+
+func (s *Service) clusterIdentity() (nodeID, role string, leaseExpires *time.Time) {
+	s.idMu.Lock()
+	id, r, lf := s.nodeID, s.role, s.leaseExpires
+	s.idMu.Unlock()
+	if r == "" {
+		r = "standalone"
+	}
+	if lf != nil {
+		if t := lf(); !t.IsZero() {
+			leaseExpires = &t
+		}
+	}
+	return id, r, leaseExpires
+}
 
 // JournalStats returns the journal's live counters (zero when the
 // service is in-memory only).
