@@ -33,11 +33,15 @@ race:
 		./internal/graph/ ./internal/sched/ ./internal/profile/ ./internal/control/
 
 # equiv is the controller-equivalence acceptance check for the
-# barrier-free executor: the hybrid controller fed sliding-window
+# barrier-free executor — the hybrid controller fed sliding-window
 # pseudo-rounds must settle to the same steady-state m as the same
-# controller fed real rounds on the synthetic cc workload.
+# controller fed real rounds on the synthetic cc workload — plus the
+# colored-mode acceptance run: on the stable-conflict workload the
+# hybrid speculative→colored drive must reach the colored phase, commit
+# with a zero conflict ratio and no aborts there, and sustain colored
+# steady-state commits/sec at least matching the async executor.
 equiv:
-	$(GO) test -count=1 -run 'TestAsyncControllerEquivalence|TestWindowedEstimator' \
+	$(GO) test -count=1 -run 'TestAsyncControllerEquivalence|TestWindowedEstimator|TestColoredEquivalence' \
 		./internal/workload/ ./internal/control/
 
 # chaos runs the fault-injection and cancellation end-to-end suites
@@ -71,11 +75,12 @@ bench:
 
 # bench-sim reproduces the simulation- and executor-layer benchmarks
 # (CSR greedy-MIS kernel, serial vs parallel conflict-ratio estimators,
-# round-barrier vs barrier-free execution on the straggler workload)
-# and records per-benchmark medians in $(BENCH_SIM_OUT).
+# round-barrier vs barrier-free execution on the straggler workload,
+# and round vs async vs colored execution on stable-conflict
+# topologies) and records per-benchmark medians in $(BENCH_SIM_OUT).
 bench-sim:
 	$(GO) test ./internal/graph/ ./internal/sched/ ./internal/speculation/ -run NONE \
-		-bench 'BenchmarkCSRMIS|BenchmarkMapMIS|BenchmarkConflictRatioMC|BenchmarkExecutorAsync' \
+		-bench 'BenchmarkCSRMIS|BenchmarkMapMIS|BenchmarkConflictRatioMC|BenchmarkExecutorAsync|BenchmarkExecutorColored' \
 		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
 		| $(GO) run ./cmd/benchfmt > $(BENCH_SIM_OUT)
 	@cat $(BENCH_SIM_OUT)

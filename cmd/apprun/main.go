@@ -18,8 +18,16 @@
 //
 // -async drops the round barrier: workers continuously pull tasks
 // through a resizable in-flight semaphore and the controller observes a
-// sliding commit window instead of rounds ("cc" and "spin" only;
-// -commit-window fixes the window size, 0 tracks the controller's m).
+// sliding commit window instead of rounds (async-capable workloads
+// only; -commit-window fixes the window size, 0 tracks the
+// controller's m).
+//
+// -colored runs hybrid speculative→colored: optimistic rounds learn
+// the conflict graph, a proper coloring of it partitions the tasks
+// into conflict-free classes, and whole classes run lock-free until a
+// staleness trip falls back to speculation (colored-capable workloads
+// only). The report gains a phase line: learning vs colored rounds,
+// colorings, fallbacks, and the colored-phase conflict ratio.
 //
 // Workloads and controllers are instantiated through the shared
 // internal/workload registry — the same constructors cmd/controlsim and
@@ -39,7 +47,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "all", "mesh | boruvka | sp | cluster | des | maxflow | all")
+	app := flag.String("app", "all", "mesh | boruvka | sp | cluster | des | maxflow | stable | all")
 	ctrlName := flag.String("ctrl", "hybrid", "hybrid | model-based | recurrence-a | recurrence-b | bisection | aimd | fixed")
 	rho := flag.Float64("rho", 0.25, "target conflict ratio")
 	fixedM := flag.Int("m", 32, "processor count for -ctrl fixed")
@@ -52,9 +60,16 @@ func main() {
 		"retry budget for failed tasks (0 = default, negative = no retries)")
 	async := flag.Bool("async", false,
 		"run barrier-free with sliding-window control (workloads with async support only)")
+	colored := flag.Bool("colored", false,
+		"run hybrid speculative→colored (workloads with colored support only)")
 	window := flag.Int("commit-window", 0,
 		"fixed async commit-window size (0 = track the controller's m)")
 	flag.Parse()
+
+	if *async && *colored {
+		fmt.Fprintln(os.Stderr, "-async and -colored are mutually exclusive")
+		os.Exit(2)
+	}
 
 	newCtrl := func() control.Controller {
 		if !workload.HasController(*ctrlName) {
@@ -76,7 +91,13 @@ func main() {
 	}
 	for _, a := range apps {
 		if *async && !workload.SupportsAsync(a) {
-			fmt.Fprintf(os.Stderr, "app %q does not support -async (only: cc, spin)\n", a)
+			fmt.Fprintf(os.Stderr, "app %q does not support -async (only: %v)\n",
+				a, workload.CapableNames(workload.CapAsync))
+			os.Exit(2)
+		}
+		if *colored && !workload.SupportsColored(a) {
+			fmt.Fprintf(os.Stderr, "app %q does not support -colored (only: %v)\n",
+				a, workload.CapableNames(workload.CapColored))
 			os.Exit(2)
 		}
 		c := newCtrl()
@@ -87,14 +108,23 @@ func main() {
 			os.Exit(2)
 		}
 		var res *speculation.AdaptiveResult
-		if *async {
+		var cres *speculation.ColoredResult
+		switch {
+		case *async:
 			res, err = workload.DrainAsync(context.Background(), run.Stepper, c,
 				speculation.AsyncOptions{Window: *window, MaxSamples: *maxRounds})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-		} else {
+		case *colored:
+			res, cres, err = workload.DrainColored(context.Background(), run.Stepper, c,
+				speculation.ColoredOptions{MaxRounds: *maxRounds})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		default:
 			res = workload.Drain(context.Background(), run.Stepper, c, *maxRounds)
 		}
 		if pending := run.Stepper.Pending(); pending > 0 {
@@ -103,6 +133,11 @@ func main() {
 			run.ReportIncomplete(os.Stdout, res, pending)
 		} else {
 			run.Report(os.Stdout, res)
+		}
+		if cres != nil {
+			fmt.Printf("         colored: learn-rounds=%d colored-rounds=%d colorings=%d fallbacks=%d colors=%d colored-commits=%d colored-r=%.3f\n",
+				cres.SpecRounds, cres.ColoredRounds, cres.Colorings, cres.Fallbacks,
+				cres.Colors, cres.ColoredCommits, cres.ColoredConflictRatio())
 		}
 		run.Stepper.Close()
 	}

@@ -23,8 +23,15 @@ import (
 //
 //	BenchmarkCSRMIS          53604    21860 ns/op    0 B/op    0 allocs/op
 //	BenchmarkConflictRatioMCParallel/w8-8    970    1262148 ns/op
-var resultLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//
+// B/op and allocs/op are matched separately because custom metrics
+// (b.ReportMetric, e.g. "tasks/sec") land between ns/op and the
+// allocation columns.
+var (
+	resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+	bytesCol   = regexp.MustCompile(`\s([\d.]+) B/op`)
+	allocsCol  = regexp.MustCompile(`\s(\d+) allocs/op`)
+)
 
 type record struct {
 	NsPerOp     float64 `json:"ns_per_op"`     // median across runs
@@ -54,7 +61,8 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := resultLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := resultLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -67,13 +75,13 @@ func main() {
 			continue
 		}
 		ns[name] = append(ns[name], v)
-		if m[3] != "" {
-			if b, err := strconv.ParseFloat(m[3], 64); err == nil {
+		if bm := bytesCol.FindStringSubmatch(line); bm != nil {
+			if b, err := strconv.ParseFloat(bm[1], 64); err == nil {
 				bytes[name] = append(bytes[name], b)
 			}
 		}
-		if m[4] != "" {
-			if a, err := strconv.ParseFloat(m[4], 64); err == nil {
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
 				allocs[name] = append(allocs[name], a)
 			}
 		}

@@ -63,9 +63,16 @@ func main() {
 		"Monte Carlo estimation workers for the μ bisection probes")
 	async := flag.Bool("async", false,
 		"-efficiency only: drive the CC workload barrier-free with sliding-window control")
+	colored := flag.Bool("colored", false,
+		"-efficiency only: drive the stable-conflict workload in hybrid speculative→colored mode")
 	window := flag.Int("commit-window", 0,
 		"fixed async commit-window size (0 = track the controller's m)")
 	flag.Parse()
+
+	if *async && *colored {
+		fmt.Fprintln(os.Stderr, "-async and -colored are mutually exclusive")
+		os.Exit(2)
+	}
 
 	switch {
 	case *converge:
@@ -77,7 +84,7 @@ func main() {
 	case *smart:
 		runSmartStart(*n, *rho, *seed, *workers)
 	case *efficiency:
-		runEfficiency(*n, *rho, *seed, *par, *async, *window)
+		runEfficiency(*n, *rho, *seed, *par, *async, *colored, *window)
 	case *rhoSweep:
 		runRhoSweep(*n, *seed, *par)
 	default:
@@ -250,30 +257,48 @@ func runSmartStart(n int, rho float64, seed uint64, workers int) {
 // runEfficiency quantifies the paper's intro trade-off on the real
 // speculative runtime: too many processors waste work and power, too
 // few waste time; the adaptive controller balances both.
-func runEfficiency(n int, rho float64, seed uint64, par int, async bool, window int) {
-	mode := "rounds"
+func runEfficiency(n int, rho float64, seed uint64, par int, async, colored bool, window int) {
+	mode, wl := "rounds", "cc"
 	if async {
 		mode = "barrier-free"
 	}
-	fmt.Printf("Adaptive vs fixed-m on a draining CC workload (n=%d, d=24, ρ=%.0f%%, %s)\n", n, rho*100, mode)
+	if colored {
+		// Colored execution needs footprints that repeat round over
+		// round to learn from; the draining CC workload commits each key
+		// exactly once, so the colored comparison runs on the synthetic
+		// stable-conflict workload instead.
+		mode, wl = "speculative→colored", "stable"
+	}
+	fmt.Printf("Adaptive vs fixed-m on a draining %s workload (n=%d, d=24, ρ=%.0f%%, %s)\n", wl, n, rho*100, mode)
 	fmt.Println("rounds ≈ makespan; proc-rounds ≈ energy; efficiency = useful/total work")
 	run := func(c control.Controller) *speculation.AdaptiveResult {
-		// The synthetic CC workload comes from the shared registry — the
-		// same construction the specd service's "cc" jobs use.
-		cc, err := workload.New("cc", workload.Params{Size: n, Seed: seed, Parallel: par, Degree: 24})
+		// The synthetic workload comes from the shared registry — the
+		// same construction the specd service's jobs use.
+		w, err := workload.New(wl, workload.Params{Size: n, Seed: seed, Parallel: par, Degree: 24})
 		if err != nil {
 			panic(err)
 		}
-		defer cc.Stepper.Close()
+		defer w.Stepper.Close()
 		if async {
-			res, err := workload.DrainAsync(context.Background(), cc.Stepper, c,
+			res, err := workload.DrainAsync(context.Background(), w.Stepper, c,
 				speculation.AsyncOptions{Window: window})
 			if err != nil {
 				panic(err)
 			}
 			return res
 		}
-		return workload.Drain(context.Background(), cc.Stepper, c, 1<<30)
+		if colored {
+			res, cres, err := workload.DrainColored(context.Background(), w.Stepper, c,
+				speculation.ColoredOptions{})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("# %s: learn-rounds=%d colored-rounds=%d colorings=%d fallbacks=%d colored-r=%.3f\n",
+				c.Name(), cres.SpecRounds, cres.ColoredRounds, cres.Colorings,
+				cres.Fallbacks, cres.ColoredConflictRatio())
+			return res
+		}
+		return workload.Drain(context.Background(), w.Stepper, c, 1<<30)
 	}
 	tbl := trace.NewTable("efficiency",
 		"allocation", "rounds", "proc_rounds", "wasted", "efficiency")

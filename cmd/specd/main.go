@@ -17,10 +17,15 @@
 // -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // -async makes barrier-free execution the default for jobs whose
-// workload supports it ("cc", "spin"): workers continuously pull tasks
-// through a resizable in-flight semaphore and the controller is fed by
-// a sliding commit window. Jobs may still pick a mode explicitly with
-// {"mode":"round"|"async"}.
+// workload supports it ("cc", "spin", "stable"): workers continuously
+// pull tasks through a resizable in-flight semaphore and the controller
+// is fed by a sliding commit window. -colored makes hybrid
+// speculative→colored execution the default where supported ("mesh",
+// "cluster", "cc", "stable"): optimistic rounds learn the conflict
+// graph, a coloring of it partitions the tasks into conflict-free
+// classes, and the classes run lock-free until a staleness trip falls
+// back to speculation. Jobs may still pick a mode explicitly with
+// {"mode":"round"|"async"|"colored"}.
 //
 // With -state-dir set the daemon is durable: every job lifecycle
 // transition is journaled to a write-ahead log in that directory
@@ -85,6 +90,7 @@ func main() {
 	checkpointRounds := flag.Int("checkpoint-rounds", 32, "journal a running job's progress every K rounds")
 	checkpointCommits := flag.Int("checkpoint-commits", 2048, "journal a running async job's progress every K commits")
 	asyncDefault := flag.Bool("async", false, "run jobs barrier-free by default where the workload supports it (jobs may still set \"mode\" explicitly)")
+	coloredDefault := flag.Bool("colored", false, "run jobs in hybrid speculative→colored mode by default where the workload supports it (jobs may still set \"mode\" explicitly)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 	// Cluster flags.
@@ -116,9 +122,15 @@ func main() {
 		logger.Fatalf("specd: unknown -mode %q (want node or router)", *mode)
 	}
 
+	if *asyncDefault && *coloredDefault {
+		logger.Fatalf("specd: -async and -colored are mutually exclusive defaults")
+	}
 	defaultMode := service.ModeRound
 	if *asyncDefault {
 		defaultMode = service.ModeAsync
+	}
+	if *coloredDefault {
+		defaultMode = service.ModeColored
 	}
 	svc, err := service.Open(service.Config{
 		QueueCap:           *queueCap,

@@ -58,9 +58,10 @@ func (r *SpeculativeRefiner) itemFor(id int) *speculation.Item {
 	return it
 }
 
-// taskFor builds the speculative task refining triangle id.
+// taskFor builds the speculative task refining triangle id, keyed by
+// the triangle so the colored-mode learner can track it across retries.
 func (r *SpeculativeRefiner) taskFor(id int) speculation.Task {
-	return speculation.TaskFunc(func(ctx *speculation.Ctx) error {
+	return speculation.Keyed(int64(id), speculation.TaskFunc(func(ctx *speculation.Ctx) error {
 		// Snapshot phase (round-consistent: mesh mutates only in
 		// commit actions, which run after the round barrier).
 		r.mu.Lock()
@@ -102,7 +103,7 @@ func (r *SpeculativeRefiner) taskFor(id int) speculation.Task {
 		// the then-current mesh.
 		ctx.OnCommit(func() { r.commitInsert(id) })
 		return nil
-	})
+	}))
 }
 
 func (r *SpeculativeRefiner) noteStale() {

@@ -22,7 +22,12 @@ type Controller interface {
 	// M returns the processor count to use for the next round.
 	M() int
 	// Observe feeds the conflict ratio measured for the round that was
-	// just executed with M() processors.
+	// just executed with M() processors. Only *speculative* rounds are
+	// observed: drives with a conflict-free phase (the colored
+	// super-rounds of speculation.RunColored, whose r is ~0 by
+	// construction) must not feed it, so r̄ keeps estimating the
+	// contention the controller actually allocates against and Algorithm
+	// 1 resumes from consistent state when speculation resumes.
 	Observe(r float64)
 	// Name identifies the controller in reports.
 	Name() string

@@ -134,9 +134,15 @@ func TestParallelCurveMatchesPointwise(t *testing.T) {
 
 // --- benchmarks: the seed serial estimator vs the CSR parallel engine --
 
-// benchEstimatorConfig is the Fig. 2 configuration named in the issue:
-// n=2000, d=16, probing m = n/4 with 50 reps per estimate (matching the
-// root-level BenchmarkFig2RandomGraph).
+// benchGraph is the Fig. 2 graph named in the issue: n=2000, d=16,
+// probing m = n/4 (matching the root-level BenchmarkFig2RandomGraph).
+//
+// benchReps must be large enough that each worker's shard amortizes the
+// goroutine fan-out; at the original reps=50 every worker count ran in
+// the same ~1ms because per-shard work was dwarfed by spawn overhead,
+// so the w1/w2/w4/w8 sub-benchmarks reported no scaling at all.
+const benchReps = 2000
+
 func benchGraph() *graph.Graph {
 	return graph.RandomWithAvgDegree(rng.New(2), 2000, 16)
 }
@@ -147,7 +153,7 @@ func BenchmarkConflictRatioMCSerial(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ConflictRatioMC(g, r, 500, 50)
+		ConflictRatioMC(g, r, 500, benchReps)
 	}
 }
 
@@ -160,7 +166,7 @@ func BenchmarkConflictRatioMCParallel(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				est.ConflictRatio(r, 500, 50)
+				est.ConflictRatio(r, 500, benchReps)
 			}
 		})
 	}

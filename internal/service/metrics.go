@@ -19,6 +19,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 
 	byState := make(map[State]int, len(States()))
 	var rounds, launched, committed, aborted, failed, poisoned int64
+	var coloredRounds, colorings, fallbacks int64
 	for _, j := range jobs {
 		byState[j.State]++
 		rounds += int64(j.Rounds)
@@ -27,6 +28,9 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		aborted += j.Aborted
 		failed += j.Failed
 		poisoned += j.Poisoned
+		coloredRounds += int64(j.ColoredRounds)
+		colorings += int64(j.Colorings)
+		fallbacks += int64(j.Fallbacks)
 	}
 
 	var b strings.Builder
@@ -66,6 +70,12 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(&b, "specd_task_failures_total %d\n", failed)
 	header("specd_poisoned_tasks_total", "Tasks quarantined after exhausting their retry budget.", "counter")
 	fmt.Fprintf(&b, "specd_poisoned_tasks_total %d\n", poisoned)
+	header("specd_colored_rounds_total", "Colored (lock-free) super-rounds run across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_colored_rounds_total %d\n", coloredRounds)
+	header("specd_colorings_total", "Speculative-to-colored phase transitions across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_colorings_total %d\n", colorings)
+	header("specd_colored_fallbacks_total", "Colored-to-speculative staleness fallbacks across all jobs.", "counter")
+	fmt.Fprintf(&b, "specd_colored_fallbacks_total %d\n", fallbacks)
 	header("specd_inflight_jobs", "Jobs currently executing rounds.", "gauge")
 	fmt.Fprintf(&b, "specd_inflight_jobs %d\n", s.Running())
 

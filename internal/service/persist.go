@@ -459,9 +459,12 @@ func resetAttemptCounters(j *job) {
 	st.Rounds, st.CurrentM, st.Pending = 0, 0, 0
 	st.Launched, st.Committed, st.Aborted, st.Failed, st.Poisoned = 0, 0, 0, 0, 0
 	st.ConflictRatio, st.MeanConflictRatio = 0, 0
+	st.ColoredRounds, st.Colorings, st.Fallbacks = 0, 0, 0
 	st.ControllerCounters = nil
 	st.Result, st.Error, st.Reason = "", "", ""
 	j.rSum = 0
+	j.specRounds = 0
+	j.prevColored = false
 }
 
 // applyProgress sets the absolute progress fields from a checkpoint or

@@ -89,6 +89,12 @@ const (
 	// by a sliding commit window (pseudo-rounds). Only workloads with
 	// workload.SupportsAsync may run in this mode.
 	ModeAsync = "async"
+	// ModeColored runs hybrid speculative→colored: optimistic rounds
+	// learn the conflict graph, then a proper coloring of it partitions
+	// the tasks into conflict-free classes that run lock-free; staleness
+	// falls back to speculation. Only workloads with
+	// workload.SupportsColored may run in this mode.
+	ModeColored = "colored"
 )
 
 // States lists every job state (metrics export them all, including
@@ -114,8 +120,10 @@ type JobSpec struct {
 	MaxDuration Duration   `json:"max_duration,omitempty"` // wall-clock deadline, checked between rounds (0 = none)
 	TaskRetries int        `json:"task_retries,omitempty"` // retry budget for failed tasks; 0 = server default, -1 = none
 	Fault       *FaultSpec `json:"fault,omitempty"`        // deterministic fault injection ("cc"/"spin" only)
-	// Mode selects the execution mode: "round" (default) or "async"
-	// (barrier-free, "cc"/"spin" only). Empty takes the server default.
+	// Mode selects the execution mode: "round" (default), "async"
+	// (barrier-free, workloads with async support only), or "colored"
+	// (hybrid speculative→colored, workloads with colored support only).
+	// Empty takes the server default.
 	Mode string `json:"mode,omitempty"`
 	// CommitWindow fixes the async sliding-window size; 0 (default)
 	// tracks the controller's m adaptively. Async mode only.
@@ -138,6 +146,13 @@ type RoundPoint struct {
 	// (omitted for attempt 1), so a restored trajectory distinguishes
 	// the pre-crash prefix from the rerun.
 	Attempt int `json:"attempt,omitempty"`
+	// Colored marks a colored super-round of a mode "colored" job; M is
+	// then the number of tasks the super-round launched, not a
+	// controller allocation. Fallback marks the colored round that
+	// tripped the staleness detector (the job reverts to speculative
+	// rounds right after it).
+	Colored  bool `json:"colored,omitempty"`
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // JobStatus is the externally visible snapshot of a job, returned by
@@ -168,6 +183,13 @@ type JobStatus struct {
 	ConflictRatio     float64 `json:"conflict_ratio"`      // cumulative aborts/launches
 	MeanConflictRatio float64 `json:"mean_conflict_ratio"` // r̄: unweighted per-round mean
 
+	// Colored-mode phase counters (mode "colored" jobs only): colored
+	// super-rounds run, speculative→colored transitions, and
+	// colored→speculative staleness fallbacks.
+	ColoredRounds int `json:"colored_rounds,omitempty"`
+	Colorings     int `json:"colorings,omitempty"`
+	Fallbacks     int `json:"fallbacks,omitempty"`
+
 	ControllerCounters map[string]int `json:"controller_counters,omitempty"`
 	Trajectory         []RoundPoint   `json:"trajectory,omitempty"`
 	Result             string         `json:"result,omitempty"`
@@ -189,6 +211,13 @@ type job struct {
 	status JobStatus
 	hist   ring
 	rSum   float64 // sum of per-round conflict ratios (attempt-local)
+	// specRounds counts the speculative rounds behind rSum: colored
+	// super-rounds are conflict-free by construction and excluded from
+	// r̄, mirroring the controller's view.
+	specRounds int
+	// prevColored tracks phase transitions between recorded rounds so
+	// Colorings counts speculative→colored flips.
+	prevColored bool
 
 	// cancelCh is closed (once) to ask a running job to stop at its
 	// next round barrier; cancelReason is set under mu beforehand.
@@ -261,8 +290,22 @@ func (j *job) record(p RoundPoint, pending int, counters map[string]int) {
 	if st.Launched > 0 {
 		st.ConflictRatio = float64(st.Aborted) / float64(st.Launched)
 	}
-	j.rSum += p.R
-	st.MeanConflictRatio = j.rSum / float64(st.Rounds)
+	if p.Colored {
+		st.ColoredRounds++
+		if !j.prevColored {
+			st.Colorings++
+		}
+		if p.Fallback {
+			st.Fallbacks++
+		}
+	} else {
+		j.rSum += p.R
+		j.specRounds++
+	}
+	j.prevColored = p.Colored
+	if j.specRounds > 0 {
+		st.MeanConflictRatio = j.rSum / float64(j.specRounds)
+	}
 	st.ControllerCounters = counters
 	j.hist.push(p)
 }
@@ -324,8 +367,9 @@ type Config struct {
 	// commit counter rather than on round count.
 	CheckpointCommits int
 	// DefaultMode is the execution mode when spec.Mode is empty
-	// (default ModeRound). A DefaultMode of ModeAsync applies only to
-	// workloads that support it; the rest fall back to rounds.
+	// (default ModeRound). A DefaultMode of ModeAsync or ModeColored
+	// applies only to workloads that support it; the rest fall back to
+	// rounds.
 	DefaultMode string
 	// CompactBytes triggers snapshot compaction once live journal
 	// segments exceed this size (default 4 MiB).
@@ -541,7 +585,8 @@ func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
 	}
 	if spec.Fault != nil {
 		if !workload.SupportsFault(spec.Workload) {
-			return spec, specErrf("workload %q does not support fault injection (only cc, spin)", spec.Workload)
+			return spec, specErrf("workload %q does not support fault injection (only %v)",
+				spec.Workload, workload.CapableNames(workload.CapFault))
 		}
 		if err := spec.Fault.config(spec.Seed).Validate(); err != nil {
 			return spec, specErrf("bad fault spec: %v", err)
@@ -549,20 +594,29 @@ func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
 	}
 	switch spec.Mode {
 	case "":
-		// Server default, but barrier-free execution only where the
-		// workload supports it — the rest keep the round loop.
-		if s.cfg.DefaultMode == ModeAsync && workload.SupportsAsync(spec.Workload) {
+		// Server default, but barrier-free / colored execution only
+		// where the workload supports it — the rest keep the round loop.
+		switch {
+		case s.cfg.DefaultMode == ModeAsync && workload.SupportsAsync(spec.Workload):
 			spec.Mode = ModeAsync
-		} else {
+		case s.cfg.DefaultMode == ModeColored && workload.SupportsColored(spec.Workload):
+			spec.Mode = ModeColored
+		default:
 			spec.Mode = ModeRound
 		}
 	case ModeRound:
 	case ModeAsync:
 		if !workload.SupportsAsync(spec.Workload) {
-			return spec, specErrf("workload %q does not support async execution (only cc, spin)", spec.Workload)
+			return spec, specErrf("workload %q does not support async execution (only %v)",
+				spec.Workload, workload.CapableNames(workload.CapAsync))
+		}
+	case ModeColored:
+		if !workload.SupportsColored(spec.Workload) {
+			return spec, specErrf("workload %q does not support colored execution (only %v)",
+				spec.Workload, workload.CapableNames(workload.CapColored))
 		}
 	default:
-		return spec, specErrf("unknown mode %q (have %q, %q)", spec.Mode, ModeRound, ModeAsync)
+		return spec, specErrf("unknown mode %q (have %q, %q, %q)", spec.Mode, ModeRound, ModeAsync, ModeColored)
 	}
 	if spec.CommitWindow < 0 || spec.CommitWindow > 1<<16 {
 		return spec, specErrf("commit_window %d out of [0,%d]", spec.CommitWindow, 1<<16)
@@ -971,6 +1025,10 @@ func (s *Service) runJob(j *job) {
 		s.runAsyncJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, &delta)
 		return
 	}
+	if spec.Mode == ModeColored {
+		s.runColoredJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, &delta)
+		return
+	}
 
 	telemetry, _ := ctrl.(control.Telemetry)
 	round := 0
@@ -1086,6 +1144,74 @@ func (s *Service) runAsyncJob(j *job, id string, attempt int, spec JobSpec, run 
 		return
 	}
 	s.finishDrained(j, id, spec, run, res.Samples)
+}
+
+// runColoredJob drains one job in hybrid speculative→colored mode: the
+// stepper's RunColored drive owns the learn/color/execute cycle, and
+// every round (speculative or colored) lands here as one trajectory
+// point. Checkpointing and cancellation handling mirror the round
+// loop's; colored super-rounds are flagged on their RoundPoints, and
+// the per-job phase counters (colored rounds, colorings, fallbacks)
+// accumulate in the job status.
+func (s *Service) runColoredJob(j *job, id string, attempt int, spec JobSpec, run *workload.Run,
+	ctrl control.Controller, ctx context.Context, cancelJob func(reason, errMsg string), delta *[]RoundPoint) {
+	cst, ok := run.Stepper.(workload.ColoredStepper)
+	if !ok {
+		s.failJob(j, id, fmt.Errorf("workload %q stepper cannot run colored", spec.Workload))
+		return
+	}
+	telemetry, _ := ctrl.(control.Telemetry)
+	res := cst.RunColored(ctx, ctrl, speculation.ColoredOptions{
+		MaxRounds: spec.MaxRounds,
+		OnRound: func(cr speculation.ColoredRound) {
+			var counters map[string]int
+			if telemetry != nil {
+				counters = telemetry.Counters()
+			}
+			p := RoundPoint{
+				Round: cr.Round, M: cr.M,
+				Launched: cr.Launched, Committed: cr.Committed, Aborted: cr.Aborted,
+				Failed: cr.Failed, Poisoned: cr.Poisoned, R: cr.R,
+				Colored: cr.Colored, Fallback: cr.Fallback,
+			}
+			if attempt > 1 {
+				p.Attempt = attempt
+			}
+			j.record(p, run.Stepper.Pending(), counters)
+			if s.jnl != nil {
+				*delta = append(*delta, p)
+				if len(*delta) >= s.cfg.CheckpointEvery {
+					s.journalCheckpoint(j, *delta)
+					*delta = (*delta)[:0]
+				}
+			}
+		},
+	})
+	if res.Canceled {
+		// Same reason precedence as the round loop: user cancel, then
+		// shutdown, then the deadline carried by ctx.
+		select {
+		case <-j.cancelCh:
+			j.mu.Lock()
+			reason := j.cancelReason
+			j.mu.Unlock()
+			cancelJob(reason, fmt.Sprintf("canceled after round %d", res.Rounds))
+			s.cfg.Logf("specd: job %s canceled after round %d (in-flight round completed)", id, res.Rounds)
+		default:
+			select {
+			case <-s.stop:
+				cancelJob(ReasonShutdown, fmt.Sprintf("interrupted by shutdown after round %d", res.Rounds))
+				s.cfg.Logf("specd: job %s interrupted after round %d (in-flight round completed)", id, res.Rounds)
+			default:
+				cancelJob(ReasonDeadline, fmt.Sprintf("deadline %v exceeded after round %d",
+					time.Duration(spec.MaxDuration), res.Rounds))
+				s.cfg.Logf("specd: job %s hit its %v deadline after round %d",
+					id, time.Duration(spec.MaxDuration), res.Rounds)
+			}
+		}
+		return
+	}
+	s.finishDrained(j, id, spec, run, res.Rounds)
 }
 
 // finishDrained is the shared post-drive tail for both execution modes:

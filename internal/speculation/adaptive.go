@@ -136,14 +136,20 @@ func (wl *GraphWorkload) edgeItem(u, v int) *Item {
 	if it, ok := wl.edgeItems[k]; ok {
 		return it
 	}
-	it := NewItem(int64(k[0])<<32 | int64(k[1]))
+	// +1 on the high half keeps edge Seqs disjoint from node Seqs: the
+	// edge (0, v) would otherwise collide with node v, which would
+	// corrupt Seq-keyed diagnostics and the colored-mode conflict
+	// learner (footprints are compared by Seq).
+	it := NewItem((int64(k[0])+1)<<32 | int64(k[1]))
 	wl.edgeItems[k] = it
 	return it
 }
 
-// TaskFor returns the speculative task processing node v.
+// TaskFor returns the speculative task processing node v. The task is
+// keyed by its node so the colored-mode learner can identify it across
+// retries.
 func (wl *GraphWorkload) TaskFor(v int) Task {
-	return TaskFunc(func(ctx *Ctx) error {
+	return Keyed(int64(v), TaskFunc(func(ctx *Ctx) error {
 		// Snapshot the neighborhood under the structural lock; the
 		// graph does not mutate during a round (mutation is deferred to
 		// commit actions), so the snapshot is round-consistent.
@@ -173,7 +179,7 @@ func (wl *GraphWorkload) TaskFor(v int) Task {
 			wl.g.RemoveNode(v)
 		})
 		return nil
-	})
+	}))
 }
 
 // Populate adds one task per live node to the executor.

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/workset"
 )
 
@@ -130,6 +132,77 @@ func BenchmarkExecutorAsync(b *testing.B) {
 		}
 		e.Close()
 	})
+}
+
+// BenchmarkExecutorColored compares the three drive modes — round-
+// barrier speculation, barrier-free async, and hybrid colored — on
+// stable-conflict workloads whose conflict structure never changes
+// round over round (the colored mode's sweet spot). One benchmark op
+// is one committed chain step, so ns/op is directly comparable across
+// sub-benchmarks. The colored drive spends a handful of rounds
+// learning speculatively and then runs the tail lock-free: no item
+// CAS, no undo logs, no aborted work. All three modes run under the
+// same hybrid controller at ρ=0.25 (colored rounds are invisible to
+// it by design).
+func BenchmarkExecutorColored(b *testing.B) {
+	cpu := runtime.NumCPU()
+	topologies := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		// mesh-like: planar grid adjacency, bounded degree.
+		{"mesh", func() *graph.Graph { return graph.Grid2D(16, 16) }},
+		// cluster-like: irregular random conflicts, skewed degrees.
+		{"cluster", func() *graph.Graph {
+			return graph.RandomWithAvgDegree(rng.New(17), 256, 8.0)
+		}},
+	}
+	report := func(b *testing.B, committed int64) {
+		if secs := b.Elapsed().Seconds(); secs > 0 && committed > 0 {
+			b.ReportMetric(float64(committed)/secs, "tasks/sec")
+		}
+	}
+	for _, topo := range topologies {
+		b.Run(topo.name+"/round", func(b *testing.B) {
+			e, _, _ := buildStableFixture(topo.build(), b.N, cpu, 7)
+			defer e.Close()
+			ctrl := testHybrid(0.25)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for e.TotalCommitted() < int64(b.N) && e.Pending() > 0 {
+				st := e.Round(ctrl.M())
+				ctrl.Observe(st.ConflictRatio())
+			}
+			b.StopTimer()
+			report(b, e.TotalCommitted())
+		})
+		b.Run(topo.name+"/async", func(b *testing.B) {
+			e, _, _ := buildStableFixture(topo.build(), b.N, cpu, 7)
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.RunAsync(context.Background(), testHybrid(0.25),
+				AsyncOptions{MaxCommits: int64(b.N)})
+			b.StopTimer()
+			report(b, e.TotalCommitted())
+		})
+		b.Run(topo.name+"/colored", func(b *testing.B) {
+			e, _, _ := buildStableFixture(topo.build(), b.N, cpu, 7)
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			res := e.RunColored(context.Background(), testHybrid(0.25),
+				ColoredOptions{MaxCommits: int64(b.N)})
+			b.StopTimer()
+			report(b, e.TotalCommitted())
+			if res.ColoredAborts != 0 {
+				b.Fatalf("colored rounds aborted %d tasks on a stable workload", res.ColoredAborts)
+			}
+			if res.Degraded {
+				b.Fatal("colored drive degraded on a keyed workload")
+			}
+		})
+	}
 }
 
 // BenchmarkExecutorRoundWorkset measures the abort/requeue path: all

@@ -1,0 +1,433 @@
+package speculation
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// stableChainTask is the test fixture for colored execution: a task
+// with a fixed conflict footprint (its node item plus the incident edge
+// items of a fixed conflict graph) that respawns itself until it has
+// committed `repeats` times. The conflict structure never changes, so a
+// colored drive should learn it, color it, and run the tail of the
+// drain lock-free.
+type stableChainTask struct {
+	key      int64
+	items    []*Item
+	left     atomic.Int64
+	commitFn func()
+	// extra, when non-nil, returns an additional item to acquire — the
+	// staleness tests use it to mutate a footprint mid-drive.
+	extra func() *Item
+}
+
+func (t *stableChainTask) ConflictKey() int64 { return t.key }
+
+func (t *stableChainTask) Run(ctx *Ctx) error {
+	if err := ctx.AcquireAll(t.items...); err != nil {
+		return err
+	}
+	if t.extra != nil {
+		if it := t.extra(); it != nil {
+			if err := ctx.Acquire(it); err != nil {
+				return err
+			}
+		}
+	}
+	if t.left.Load() > 1 {
+		ctx.Spawn(t)
+	}
+	ctx.OnCommit(t.commitFn)
+	return nil
+}
+
+// buildStableFixture wires one stableChainTask per node of g into a
+// fresh executor with the model's seeded uniform-random selection (so
+// learning covers every chain).
+func buildStableFixture(g *graph.Graph, repeats, parallel int, seed uint64) (*Executor, []*stableChainTask, *atomic.Int64) {
+	r := rng.New(seed)
+	var mu sync.Mutex
+	e := NewExecutor(func(n int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Intn(n)
+	})
+	e.MaxParallel = parallel
+
+	nodes := g.Nodes()
+	nodeItems := make(map[int]*Item, len(nodes))
+	for _, v := range nodes {
+		nodeItems[v] = NewItem(int64(v))
+	}
+	edgeItems := make(map[[2]int]*Item)
+	edgeFor := func(u, v int) *Item {
+		k := edgeKey(u, v)
+		it, ok := edgeItems[k]
+		if !ok {
+			it = NewItem((int64(k[0])+1)<<32 | int64(k[1]))
+			edgeItems[k] = it
+		}
+		return it
+	}
+
+	total := new(atomic.Int64)
+	tasks := make([]*stableChainTask, 0, len(nodes))
+	for _, v := range nodes {
+		t := &stableChainTask{key: int64(v)}
+		t.items = append(t.items, nodeItems[v])
+		g.EachNeighbor(v, func(u int) {
+			t.items = append(t.items, edgeFor(v, u))
+		})
+		t.left.Store(int64(repeats))
+		tt := t
+		t.commitFn = func() {
+			tt.left.Add(-1)
+			total.Add(1)
+		}
+		tasks = append(tasks, t)
+		e.Add(t)
+	}
+	return e, tasks, total
+}
+
+func testHybrid(rho float64) control.Controller {
+	cfg := control.DefaultHybridConfig(rho)
+	cfg.MMax = 64
+	return control.NewHybrid(cfg)
+}
+
+func TestRunColoredStableDrains(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	const repeats = 12
+	e, tasks, total := buildStableFixture(g, repeats, 4, 7)
+	defer e.Close()
+
+	var coloredAborted int
+	res := e.RunColored(context.Background(), testHybrid(0.25), ColoredOptions{
+		OnRound: func(cr ColoredRound) {
+			if cr.Colored {
+				coloredAborted += cr.Aborted
+			}
+		},
+	})
+
+	want := int64(len(tasks) * repeats)
+	if got := total.Load(); got != want {
+		t.Fatalf("committed %d chain steps, want %d", got, want)
+	}
+	for _, task := range tasks {
+		if l := task.left.Load(); l != 0 {
+			t.Fatalf("chain %d left=%d, want 0", task.key, l)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+	if res.Committed != want {
+		t.Fatalf("res.Committed=%d, want %d", res.Committed, want)
+	}
+	if res.Colorings == 0 || res.ColoredRounds == 0 {
+		t.Fatalf("drive never entered the colored phase: %+v", res)
+	}
+	if res.Fallbacks != 0 || res.ColoredAborts != 0 || coloredAborted != 0 {
+		t.Fatalf("stable workload tripped staleness: fallbacks=%d coloredAborts=%d",
+			res.Fallbacks, res.ColoredAborts)
+	}
+	if res.ColoredConflictRatio() != 0 {
+		t.Fatalf("colored conflict ratio %v, want 0", res.ColoredConflictRatio())
+	}
+	if res.Degraded || res.Canceled {
+		t.Fatalf("unexpected degraded/canceled: %+v", res)
+	}
+	// The whole point: the bulk of the drain should run colored.
+	if res.ColoredCommits == 0 {
+		t.Fatal("no colored commits")
+	}
+}
+
+// TestRecorderSnapshotColoringIndependent is the color-class property
+// test at the learning layer: feed the recorder the footprints of a
+// known conflict graph, snapshot, color, and assert (a) the learned CSR
+// has exactly the real conflict edges and (b) every color class is an
+// independent set of the learned CSR.
+func TestRecorderSnapshotColoringIndependent(t *testing.T) {
+	g := graph.RandomWithAvgDegree(rng.New(3), 120, 6.0)
+	rec := NewConflictRecorder(0, 0)
+
+	nodeItems := make(map[int]*Item)
+	edgeItems := make(map[[2]int]*Item)
+	for _, v := range g.Nodes() {
+		nodeItems[v] = NewItem(int64(v))
+	}
+	footprint := func(v int) []*Item {
+		items := []*Item{nodeItems[v]}
+		g.EachNeighbor(v, func(u int) {
+			k := edgeKey(v, u)
+			it, ok := edgeItems[k]
+			if !ok {
+				it = NewItem((int64(k[0])+1)<<32 | int64(k[1]))
+				edgeItems[k] = it
+			}
+			items = append(items, it)
+		})
+		return items
+	}
+	for _, v := range g.Nodes() {
+		rec.recordCommit(Keyed(int64(v), TaskFunc(func(*Ctx) error { return nil })), footprint(v))
+	}
+	rec.roundDone()
+	for i := 0; i < DefaultStableRounds; i++ {
+		rec.recordCommit(Keyed(int64(g.Nodes()[0]), TaskFunc(func(*Ctx) error { return nil })), footprint(g.Nodes()[0]))
+		rec.roundDone()
+	}
+	if !rec.Stable(DefaultStableRounds) {
+		t.Fatal("recorder not stable after quiet rounds")
+	}
+	lg := rec.Snapshot()
+	if lg == nil {
+		t.Fatal("nil snapshot")
+	}
+	if lg.NumKeys() != g.NumNodes() {
+		t.Fatalf("snapshot has %d keys, want %d", lg.NumKeys(), g.NumNodes())
+	}
+
+	// (a) learned edges == real conflict edges.
+	csr := lg.CSR()
+	if csr.NumEdges() != g.NumEdges() {
+		t.Fatalf("learned %d edges, want %d", csr.NumEdges(), g.NumEdges())
+	}
+	for i := 0; i < csr.NumNodes(); i++ {
+		u := int(lg.Key(i))
+		for _, jn := range csr.Neighbors(i) {
+			v := int(lg.Key(int(jn)))
+			if !g.HasEdge(u, v) {
+				t.Fatalf("learned edge (%d,%d) not in the real conflict graph", u, v)
+			}
+		}
+	}
+
+	// (b) every color class is an independent set of the learned CSR.
+	colors, numColors := graph.ColorCSR(csr, nil, 2)
+	if !graph.IsProperColoring(csr, colors) {
+		t.Fatal("coloring of learned CSR not proper")
+	}
+	classes := make([][]int, numColors)
+	for i := 0; i < csr.NumNodes(); i++ {
+		classes[colors[i]] = append(classes[colors[i]], int(lg.Key(i)))
+	}
+	for col, class := range classes {
+		if !graph.IsIndependentSet(g, class) {
+			t.Fatalf("color class %d not independent in the source conflict graph", col)
+		}
+	}
+
+	// Footprint membership round-trips.
+	for _, v := range g.Nodes() {
+		idx := lg.KeyIndex(int64(v))
+		if idx < 0 {
+			t.Fatalf("key %d missing from snapshot", v)
+		}
+		for _, it := range footprint(v) {
+			if !lg.InFootprint(idx, it.Seq) {
+				t.Fatalf("item %d missing from key %d's footprint", it.Seq, v)
+			}
+		}
+		if lg.InFootprint(idx, int64(1)<<62) {
+			t.Fatalf("phantom item in key %d's footprint", v)
+		}
+	}
+	if lg.KeyIndex(1 << 40) != -1 {
+		t.Fatal("unknown key resolved to an index")
+	}
+}
+
+// TestRunColoredStalenessFallback mutates one task's footprint after
+// the drive enters the colored phase and asserts the very next colored
+// round trips the fallback — and that the drive still drains with the
+// exact commit count (no correctness loss).
+func TestRunColoredStalenessFallback(t *testing.T) {
+	g := graph.Grid2D(8, 8)
+	const repeats = 60
+	e, tasks, total := buildStableFixture(g, repeats, 4, 11)
+	defer e.Close()
+
+	extraItem := NewItem(1 << 40) // far outside every learned footprint
+	var mutate atomic.Bool
+	tasks[0].extra = func() *Item {
+		if mutate.Load() {
+			return extraItem
+		}
+		return nil
+	}
+
+	type roundView struct {
+		colored  bool
+		fallback bool
+	}
+	var trace []roundView
+	mutatedAt := -1
+	res := e.RunColored(context.Background(), testHybrid(0.25), ColoredOptions{
+		OnRound: func(cr ColoredRound) {
+			trace = append(trace, roundView{colored: cr.Colored, fallback: cr.Fallback})
+			if cr.Colored && mutatedAt < 0 {
+				if l := tasks[0].left.Load(); l <= 1 {
+					t.Fatalf("chain 0 nearly drained (left=%d) before the colored phase; raise repeats", l)
+				}
+				mutate.Store(true)
+				mutatedAt = cr.Round
+			}
+		},
+	})
+
+	if mutatedAt < 0 {
+		t.Fatalf("drive never entered the colored phase: %+v", res)
+	}
+	// The round after the mutation is still colored (the stale graph is
+	// only detected by running it) and must trip the fallback.
+	next := mutatedAt + 1
+	if next >= len(trace) {
+		t.Fatalf("drive ended immediately after mutation (round %d of %d)", mutatedAt, len(trace))
+	}
+	if !trace[next].colored || !trace[next].fallback {
+		t.Fatalf("round %d after mutation: colored=%v fallback=%v, want colored fallback",
+			next, trace[next].colored, trace[next].fallback)
+	}
+	// Fallback means the following round (if any) is speculative again.
+	if next+1 < len(trace) && trace[next+1].colored {
+		t.Fatal("round after fallback still colored")
+	}
+	if res.Fallbacks == 0 {
+		t.Fatalf("no fallbacks recorded: %+v", res)
+	}
+
+	// Correctness: the mutation costs throughput, never commits.
+	want := int64(len(tasks) * repeats)
+	if got := total.Load(); got != want {
+		t.Fatalf("committed %d chain steps, want %d", got, want)
+	}
+	for _, task := range tasks {
+		if l := task.left.Load(); l != 0 {
+			t.Fatalf("chain %d left=%d, want 0", task.key, l)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+}
+
+// TestRunColoredUnkeyedStaysSpeculative: tasks without ConflictKey can
+// run under RunColored, but the drive degrades to pure speculation.
+func TestRunColoredUnkeyedStaysSpeculative(t *testing.T) {
+	e := NewExecutor(nil)
+	e.MaxParallel = 2
+	defer e.Close()
+	var runs atomic.Int64
+	for i := 0; i < 16; i++ {
+		remaining := 5
+		var task TaskFunc
+		task = func(ctx *Ctx) error {
+			runs.Add(1)
+			remaining--
+			if remaining > 0 {
+				ctx.Spawn(task)
+			}
+			return nil
+		}
+		e.Add(task)
+	}
+	res := e.RunColored(context.Background(), testHybrid(0.25), ColoredOptions{})
+	if !res.Degraded {
+		t.Fatalf("unkeyed drive not degraded: %+v", res)
+	}
+	if res.ColoredRounds != 0 || res.Colorings != 0 {
+		t.Fatalf("unkeyed drive entered colored phase: %+v", res)
+	}
+	if got := runs.Load(); got != 16*5 {
+		t.Fatalf("ran %d attempts, want %d", got, 16*5)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+}
+
+func TestRunColoredCancel(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	e, _, _ := buildStableFixture(g, 1000, 2, 3)
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	res := e.RunColored(ctx, testHybrid(0.25), ColoredOptions{
+		OnRound: func(ColoredRound) {
+			rounds++
+			if rounds == 5 {
+				cancel()
+			}
+		},
+	})
+	if !res.Canceled {
+		t.Fatalf("drive not canceled: %+v", res)
+	}
+	if res.Rounds > 6 {
+		t.Fatalf("drive ran %d rounds after cancel at 5", res.Rounds)
+	}
+}
+
+func TestRunColoredMaxBounds(t *testing.T) {
+	g := graph.Grid2D(6, 6)
+	e, _, _ := buildStableFixture(g, 1000, 2, 5)
+	defer e.Close()
+	res := e.RunColored(context.Background(), testHybrid(0.25), ColoredOptions{MaxRounds: 4})
+	if res.Rounds != 4 || res.Canceled {
+		t.Fatalf("MaxRounds: got %d rounds (canceled=%v), want 4", res.Rounds, res.Canceled)
+	}
+
+	e2, _, _ := buildStableFixture(g, 1000, 2, 5)
+	defer e2.Close()
+	res2 := e2.RunColored(context.Background(), testHybrid(0.25), ColoredOptions{MaxCommits: 100})
+	if res2.Committed < 100 {
+		t.Fatalf("MaxCommits: committed %d, want >= 100", res2.Committed)
+	}
+}
+
+func TestConflictRecorderOverflowNeverStable(t *testing.T) {
+	rec := NewConflictRecorder(2, 4)
+	items := []*Item{NewItem(1), NewItem(2), NewItem(3)}
+	task := Keyed(9, TaskFunc(func(*Ctx) error { return nil }))
+	rec.recordCommit(task, items)
+	rec.roundDone()
+	if !rec.Degraded() {
+		t.Fatal("3 items under a 2-item cap did not overflow")
+	}
+	for i := 0; i < 10; i++ {
+		rec.recordCommit(task, items[:1])
+		rec.roundDone()
+	}
+	if rec.Stable(1) {
+		t.Fatal("overflowed recorder claimed stability")
+	}
+	if rec.Snapshot() != nil {
+		t.Fatal("overflowed recorder produced a snapshot")
+	}
+	rec.Reset()
+	if rec.Degraded() {
+		t.Fatal("Reset did not clear overflow")
+	}
+}
+
+func TestKeyedWrapper(t *testing.T) {
+	ran := false
+	task := Keyed(42, TaskFunc(func(*Ctx) error { ran = true; return nil }))
+	kt, ok := task.(ConflictKeyed)
+	if !ok || kt.ConflictKey() != 42 {
+		t.Fatal("Keyed did not attach the key")
+	}
+	if err := task.Run(&Ctx{}); err != nil || !ran {
+		t.Fatal("Keyed did not delegate Run")
+	}
+}

@@ -141,6 +141,13 @@ type Ctx struct {
 	spawned  []Task
 	onCommit []func()
 	aborted  bool
+	// colored marks a context executing inside a colored round (see
+	// colored.go): tasks in one color class are pairwise conflict-free by
+	// construction, so Acquire records the footprint without taking the
+	// item lock — no CAS, no abort path. The footprint is still collected
+	// so the staleness detector can check it against the learned graph at
+	// the class barrier.
+	colored bool
 }
 
 // ctxPool recycles Ctx values across attempts and executors. Contexts
@@ -163,6 +170,7 @@ func scrubSlice[T any](s []T) []T {
 func (c *Ctx) scrub() {
 	c.id = 0
 	c.aborted = false
+	c.colored = false
 	c.acquired = scrubSlice(c.acquired)
 	c.undo = scrubSlice(c.undo)
 	c.spawned = scrubSlice(c.spawned)
@@ -176,6 +184,12 @@ func (c *Ctx) ID() int64 { return c.id }
 // task already holds succeeds. If another task holds it, the acquisition
 // fails with ErrConflict: the caller must unwind and return the error.
 func (c *Ctx) Acquire(it *Item) error {
+	if c.colored {
+		// Colored round: conflict freedom is guaranteed by the coloring,
+		// so just record the footprint for post-hoc staleness checking.
+		c.acquired = append(c.acquired, it)
+		return nil
+	}
 	if it.owner.Load() == c.id {
 		return nil
 	}
@@ -480,6 +494,12 @@ type Executor struct {
 
 	pool *workerPool
 
+	// rec, when non-nil, observes the footprints of committed tasks at
+	// the round barrier — the learning phase of colored execution (see
+	// conflict.go). Set and cleared only by RunColored, which owns the
+	// Round loop while it runs.
+	rec *ConflictRecorder
+
 	// Round-local scratch (Round is single-caller): shard buckets for
 	// batched task-table access, the committed-handle list, and the
 	// per-attempt slices reused across rounds.
@@ -724,6 +744,13 @@ func (e *Executor) Round(m int) RoundStats {
 	// serially and account.
 	for i := 0; i < n; i++ {
 		if errs[i] == nil {
+			// Learning for colored execution happens here, on the round
+			// driver thread before the footprint is cleared: only
+			// committed tasks contribute edges (aborted tasks retry and
+			// are observed when they eventually commit).
+			if e.rec != nil {
+				e.rec.recordCommit(tasks[i], ctxs[i].acquired)
+			}
 			ctxs[i].release()
 		}
 	}
@@ -784,6 +811,9 @@ func (e *Executor) Round(m int) RoundStats {
 		int64(stats.Aborted), int64(stats.Failed), int64(stats.Poisoned))
 	for _, fn := range commitActions {
 		fn()
+	}
+	if e.rec != nil {
+		e.rec.roundDone()
 	}
 	return stats
 }

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/speculation"
+)
+
+// The synthetic "stable" workload: a stable-conflict chain workload
+// built for the colored execution mode. One conflict-keyed task per
+// node of a random conflict graph commits stableRepeats times,
+// respawning itself after each commit; its footprint — the node's item
+// plus the incident edge items — never changes, so after a few
+// speculative rounds the learned conflict graph stabilizes, gets
+// colored, and the long tail of the drain runs lock-free. The chain
+// counters are atomics and the commit actions touch nothing else, so
+// the workload is also safe to drive barrier-free (CapAsync).
+
+// stableRepeats is how many times each chain task commits before it
+// stops respawning. Long enough that the colored phase dominates the
+// drain after the learning rounds.
+const stableRepeats = 24
+
+// stableTask is one respawning chain with a fixed conflict footprint.
+type stableTask struct {
+	key      int64
+	items    []*speculation.Item
+	left     atomic.Int64
+	commitFn func() // bound once at construction: no per-run closure
+}
+
+// ConflictKey implements speculation.ConflictKeyed.
+func (t *stableTask) ConflictKey() int64 { return t.key }
+
+func (t *stableTask) Run(ctx *speculation.Ctx) error {
+	if err := ctx.AcquireAll(t.items...); err != nil {
+		return err
+	}
+	if t.left.Load() > 1 {
+		ctx.Spawn(t)
+	}
+	ctx.OnCommit(t.commitFn)
+	return nil
+}
+
+// stableEdgeSeq packs a normalized conflict edge (u < v) into an item
+// Seq disjoint from the node Seqs (which are plain node indices): the
+// +1 keeps the high half nonzero even for u == 0.
+func stableEdgeSeq(u, v int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return (int64(u)+1)<<32 | int64(v)
+}
+
+// newStable builds the stable-conflict workload: Size chains over a
+// random conflict graph of average degree Degree (default 8).
+func newStable(p Params) (*Run, error) {
+	d := p.Degree
+	if d <= 0 {
+		d = 8
+	}
+	r := rng.New(p.Seed)
+	g := graph.RandomWithAvgDegree(r, p.Size, d)
+	pick := r.Split()
+	var mu sync.Mutex
+	e := speculation.NewExecutor(func(n int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return pick.Intn(n)
+	})
+	e.MaxParallel = p.Parallel
+	e.TaskRetries = p.TaskRetries
+
+	nodes := g.Nodes()
+	nodeItems := make(map[int]*speculation.Item, len(nodes))
+	for _, v := range nodes {
+		nodeItems[v] = speculation.NewItem(int64(v))
+	}
+	edgeItems := make(map[int64]*speculation.Item)
+	edgeFor := func(u, v int) *speculation.Item {
+		seq := stableEdgeSeq(u, v)
+		it, ok := edgeItems[seq]
+		if !ok {
+			it = speculation.NewItem(seq)
+			edgeItems[seq] = it
+		}
+		return it
+	}
+
+	total := new(atomic.Int64)
+	tasks := make([]*stableTask, 0, len(nodes))
+	for _, v := range nodes {
+		t := &stableTask{key: int64(v)}
+		t.items = append(t.items, nodeItems[v])
+		g.EachNeighbor(v, func(u int) {
+			t.items = append(t.items, edgeFor(v, u))
+		})
+		t.left.Store(stableRepeats)
+		tt := t
+		t.commitFn = func() {
+			tt.left.Add(-1)
+			total.Add(1)
+		}
+		tasks = append(tasks, t)
+		e.Add(t)
+	}
+
+	st := execStepper{e}
+	return &Run{
+		Name:    "stable",
+		Stepper: st,
+		summary: stdSummary("stable", st),
+		verify: func() (string, error) {
+			want := int64(len(tasks)) * stableRepeats
+			if got := total.Load(); got != want {
+				return "", fmt.Errorf("committed %d chain steps, want %d", got, want)
+			}
+			for _, t := range tasks {
+				if l := t.left.Load(); l != 0 {
+					return "", fmt.Errorf("chain %d has %d steps left", t.key, l)
+				}
+			}
+			return fmt.Sprintf("chains=%d steps=%d (all chains drained exactly)",
+				len(tasks), total.Load()), nil
+		},
+	}, nil
+}

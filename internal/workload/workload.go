@@ -189,6 +189,47 @@ func DrainAsync(ctx context.Context, s Stepper, c control.Controller, opts specu
 	return res, nil
 }
 
+// ColoredStepper is the hybrid speculative→colored driving surface:
+// steppers backed by the unordered executor expose its RunColored
+// drive. Use SupportsColored to decide whether a *workload* may be
+// driven this way — implementing the interface is necessary but not
+// sufficient (the workload's tasks must be conflict-keyed and its
+// operators cautious, see CapColored).
+type ColoredStepper interface {
+	Stepper
+	RunColored(ctx context.Context, c control.Controller, opts speculation.ColoredOptions) *speculation.ColoredResult
+}
+
+// DrainColored drives the stepper in hybrid speculative→colored mode
+// until the work-set drains, ctx is canceled, or an options bound
+// trips. It returns the per-round trajectory in the shared
+// AdaptiveResult shape (colored super-rounds appear with their launch
+// count as M and their ~0 conflict ratio as R) plus the colored-phase
+// statistics. A caller-provided opts.OnRound still fires for every
+// round.
+func DrainColored(ctx context.Context, s Stepper, c control.Controller, opts speculation.ColoredOptions) (*speculation.AdaptiveResult, *speculation.ColoredResult, error) {
+	cst, ok := s.(ColoredStepper)
+	if !ok {
+		return nil, nil, fmt.Errorf("workload: %T does not support colored execution", s)
+	}
+	res := &speculation.AdaptiveResult{Controller: c.Name()}
+	user := opts.OnRound
+	opts.OnRound = func(cr speculation.ColoredRound) {
+		res.M = append(res.M, cr.M)
+		res.R = append(res.R, cr.R)
+		res.Committed = append(res.Committed, cr.Committed)
+		if user != nil {
+			user(cr)
+		}
+	}
+	cres := cst.RunColored(ctx, c, opts)
+	res.Rounds = cres.Rounds
+	res.UsefulWork = int(cres.Committed)
+	res.WastedWork = int(cres.Aborted + cres.Failed)
+	res.ProcRounds = int(cres.Launched)
+	return res, cres, nil
+}
+
 // execStepper adapts the unordered executor.
 type execStepper struct{ e *speculation.Executor }
 
@@ -210,6 +251,9 @@ func (s execStepper) Snapshot() speculation.Snapshot { return s.e.Snapshot() }
 func (s execStepper) Close()                         { s.e.Close() }
 func (s execStepper) RunAsync(ctx context.Context, c control.Controller, opts speculation.AsyncOptions) *speculation.AsyncResult {
 	return s.e.RunAsync(ctx, c, opts)
+}
+func (s execStepper) RunColored(ctx context.Context, c control.Controller, opts speculation.ColoredOptions) *speculation.ColoredResult {
+	return s.e.RunColored(ctx, c, opts)
 }
 
 // orderedStepper adapts the ordered executor; aborted counts conflicts
@@ -253,19 +297,47 @@ func meanM(res *speculation.AdaptiveResult) float64 {
 	return s / float64(len(res.M))
 }
 
-// builders maps workload names to constructors, in registry order.
+// Capability flags a registry entry declares about its workload. They
+// replace the hardcoded name lists the Supports* predicates used to
+// carry: adding a workload now states its capabilities next to its
+// constructor instead of editing predicates scattered across the file.
+type Capability uint8
+
+const (
+	// CapFault: the workload's tasks enter the executor after the
+	// fault-injection hook is in place, so WrapTask can intercept them.
+	// The application workloads add their initial tasks during
+	// construction and cannot carry this flag.
+	CapFault Capability = 1 << iota
+	// CapAsync: the workload may be driven barrier-free. Its commit
+	// actions guard their own shared state, so they are safe to run as
+	// tasks settle rather than at a round barrier.
+	CapAsync
+	// CapColored: the workload may be driven in hybrid
+	// speculative→colored mode. Its tasks are conflict-keyed
+	// (speculation.ConflictKeyed) and its operators follow the cautious
+	// contract colored execution relies on: the parallel phase only
+	// reads shared state, and mutations are deferred to serially-run,
+	// re-validating commit actions.
+	CapColored
+)
+
+// builders maps workload names to constructors and their capability
+// flags, in registry order.
 var builders = []struct {
 	name  string
+	caps  Capability
 	build func(Params) (*Run, error)
 }{
-	{"mesh", newMesh},
-	{"boruvka", newBoruvka},
-	{"sp", newSP},
-	{"cluster", newCluster},
-	{"des", newDES},
-	{"maxflow", newMaxflow},
-	{"cc", newCC},
-	{"spin", newSpin},
+	{"mesh", CapColored, newMesh},
+	{"boruvka", 0, newBoruvka},
+	{"sp", 0, newSP},
+	{"cluster", CapColored, newCluster},
+	{"des", 0, newDES},
+	{"maxflow", 0, newMaxflow},
+	{"cc", CapFault | CapAsync | CapColored, newCC},
+	{"spin", CapFault | CapAsync, newSpin},
+	{"stable", CapAsync | CapColored, newStable},
 }
 
 // Names returns the registered workload names in registry order.
@@ -287,16 +359,45 @@ func Has(name string) bool {
 	return false
 }
 
+// Supports reports whether the named workload carries every capability
+// in c. Unknown names support nothing.
+func Supports(name string, c Capability) bool {
+	for _, b := range builders {
+		if b.name == name {
+			return b.caps&c == c
+		}
+	}
+	return false
+}
+
+// CapableNames returns the registered workloads carrying every
+// capability in c, in registry order — error messages list them so the
+// set never drifts from the registry.
+func CapableNames(c Capability) []string {
+	var out []string
+	for _, b := range builders {
+		if b.caps&c == c {
+			out = append(out, b.name)
+		}
+	}
+	return out
+}
+
 // SupportsFault reports whether the named workload can host fault
 // injection (its tasks enter the executor after WrapTask is set).
-func SupportsFault(name string) bool { return name == "cc" || name == "spin" }
+func SupportsFault(name string) bool { return Supports(name, CapFault) }
 
 // SupportsAsync reports whether the named workload can be driven
 // barrier-free. The application workloads' commit actions assume the
-// round barrier serializes them against all speculation; the synthetic
-// workloads ("cc", "spin") guard their shared state themselves, so
-// their commit actions are safe to run as tasks settle.
-func SupportsAsync(name string) bool { return name == "cc" || name == "spin" }
+// round barrier serializes them against all speculation; capable
+// workloads guard their shared state themselves, so their commit
+// actions are safe to run as tasks settle.
+func SupportsAsync(name string) bool { return Supports(name, CapAsync) }
+
+// SupportsColored reports whether the named workload can be driven in
+// hybrid speculative→colored mode (conflict-keyed tasks, cautious
+// operators — see CapColored).
+func SupportsColored(name string) bool { return Supports(name, CapColored) }
 
 // New instantiates the named workload. Construction builds the full
 // input (mesh, graph, formula, …), so it can be deferred until a job

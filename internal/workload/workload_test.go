@@ -18,6 +18,7 @@ var smallSize = map[string]int{
 	"maxflow": 60,
 	"cc":      300,
 	"spin":    8, // never drains; skipped by the drain test, bounded elsewhere
+	"stable":  64,
 }
 
 // TestEveryWorkloadDrainsAndVerifies constructs each registered
