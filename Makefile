@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: check vet build test race equiv chaos crash cluster bench bench-sim
+.PHONY: check vet build test race equiv chaos crash cluster partition bench bench-sim
 
 check: vet build test race equiv
 
@@ -69,6 +69,16 @@ crash:
 cluster:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'SpecdCluster|SpecloadCluster' .
+
+# partition runs the gray-failure e2e under the race detector: a router
+# fronting three nodes while the chaos layer injects an asymmetric
+# partition (suspect member keeps serving, no handoff), a 10x-slow node
+# (reads bounded by the hedge delay), and ENOSPC on one WAL (read-only
+# degraded mode, placements routed around, automatic recovery) — every
+# job must still reach a terminal state on attempt 1.
+partition:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'SpecdPartition' .
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

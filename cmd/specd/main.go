@@ -71,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/service"
 )
@@ -101,6 +102,10 @@ func main() {
 	sweepInterval := flag.Duration("sweep-interval", 0, "router failure-detector cadence (default lease-ttl/3)")
 	syncInterval := flag.Duration("sync-interval", time.Second, "router placement-sync cadence")
 	prefixTail := flag.Int("prefix-tail", 64, "trajectory points the router caches per running job for handoff")
+	suspectGrace := flag.Duration("suspect-grace", 0, "how long an expired lease may stay suspect before failed probes kill it (default 2×lease-ttl)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "router read-hedge delay (0 = adaptive p99, negative = hedging off)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the outbound chaos transport (with -chaos-plan)")
+	chaosPlan := flag.String("chaos-plan", "", `outbound fault plan, e.g. "router>n3:lat=50ms..100ms;n2>router:part" (src is "router" or this -node-id)`)
 	flag.Parse()
 
 	logger := log.New(os.Stdout, "", log.LstdFlags)
@@ -110,11 +115,35 @@ func main() {
 		logger.Fatalf("specd: %v", err)
 	}
 
+	var chaosLinks map[string]faultinject.LinkFault
+	if *chaosPlan != "" {
+		if chaosLinks, err = faultinject.ParseChaosPlan(*chaosPlan); err != nil {
+			logger.Fatalf("specd: bad -chaos-plan: %v", err)
+		}
+	}
+	// chaosClient wraps outbound RPCs in the chaos transport when a plan
+	// is armed; src names this end in the plan's "src>dst" keys.
+	chaosClient := func(src string) *http.Client {
+		if chaosLinks == nil {
+			return nil
+		}
+		logger.Printf("specd: chaos transport armed for %s (seed=%d plan=%q)", src, *chaosSeed, *chaosPlan)
+		return &http.Client{
+			Timeout: 5 * time.Second,
+			Transport: &faultinject.ChaosTransport{
+				Src:    src,
+				Config: faultinject.ChaosConfig{Seed: *chaosSeed, Links: chaosLinks},
+			},
+		}
+	}
+
 	if *mode == "router" {
 		runRouter(logger, routerFlags{
 			addr: *addr, stateDir: *stateDir, fsync: fsync,
 			leaseTTL: *leaseTTL, sweepInterval: *sweepInterval,
 			syncInterval: *syncInterval, prefixTail: *prefixTail,
+			suspectGrace: *suspectGrace, hedgeDelay: *hedgeDelay,
+			httpClient: chaosClient("router"),
 		})
 		return
 	}
@@ -189,8 +218,14 @@ func main() {
 			Advertise:   adv,
 			TTL:         *leaseTTL,
 			Incarnation: time.Now().UnixNano(),
+			HTTPClient:  chaosClient(id),
 			Load: func() cluster.LoadInfo {
-				return cluster.LoadInfo{QueueDepth: svc.QueueDepth(), Running: svc.Running()}
+				degraded, _ := svc.DegradedInfo()
+				return cluster.LoadInfo{
+					QueueDepth: svc.QueueDepth(),
+					Running:    svc.Running(),
+					Degraded:   degraded,
+				}
 			},
 			Logf: logger.Printf,
 		})
@@ -261,6 +296,9 @@ type routerFlags struct {
 	sweepInterval time.Duration
 	syncInterval  time.Duration
 	prefixTail    int
+	suspectGrace  time.Duration
+	hedgeDelay    time.Duration
+	httpClient    *http.Client
 }
 
 // runRouter serves the cluster front door.
@@ -271,6 +309,9 @@ func runRouter(logger *log.Logger, f routerFlags) {
 		SweepInterval: f.sweepInterval,
 		SyncInterval:  f.syncInterval,
 		PrefixTail:    f.prefixTail,
+		SuspectGrace:  f.suspectGrace,
+		HedgeDelay:    f.hedgeDelay,
+		HTTPClient:    f.httpClient,
 		Fsync:         f.fsync,
 		Logf:          logger.Printf,
 	})

@@ -21,34 +21,62 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
 
-// latencyRecorder accumulates per-request latencies for one target,
-// fed by the client's Observe hook.
+// latencyRecorder accumulates per-request latencies and an error-class
+// breakdown for one target, fed by the client's Observe hook.
 type latencyRecorder struct {
 	mu      sync.Mutex
 	byClass map[string][]time.Duration
-	errors  int // transport errors (status 0)
+	byErr   map[string]int // requests by error class ("ok" omitted)
 }
 
 func newLatencyRecorder() *latencyRecorder {
-	return &latencyRecorder{byClass: make(map[string][]time.Duration)}
+	return &latencyRecorder{
+		byClass: make(map[string][]time.Duration),
+		byErr:   make(map[string]int),
+	}
 }
 
-func (lr *latencyRecorder) observe(method, path string, status int, elapsed time.Duration) {
+func (lr *latencyRecorder) observe(method, path string, status int, err error, elapsed time.Duration) {
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
 	lr.byClass[opClass(method, path)] = append(lr.byClass[opClass(method, path)], elapsed)
-	if status == 0 {
-		lr.errors++
+	if class := errClass(status, err); class != "ok" {
+		lr.byErr[class]++
+	}
+}
+
+// errClass buckets one request's outcome: a slow target (timeout) reads
+// differently from a refused connection (transport), backpressure
+// (429), or a failing server (5xx).
+func errClass(status int, err error) string {
+	switch {
+	case err != nil:
+		var ne net.Error
+		if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+			return "timeout"
+		}
+		return "transport"
+	case status == http.StatusTooManyRequests:
+		return "429"
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	default:
+		return "ok"
 	}
 }
 
@@ -104,8 +132,17 @@ func (lr *latencyRecorder) summarize(target string) {
 		fmt.Printf("specload: latency %-28s %-8s n=%-6d p50=%-10s p90=%-10s p99=%s\n",
 			target, c, len(ds), percentile(ds, 50), percentile(ds, 90), percentile(ds, 99))
 	}
-	if lr.errors > 0 {
-		fmt.Printf("specload: latency %-28s transport errors: %d\n", target, lr.errors)
+	if len(lr.byErr) > 0 {
+		classes := make([]string, 0, len(lr.byErr))
+		for c := range lr.byErr {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts := make([]string, len(classes))
+		for i, c := range classes {
+			parts[i] = fmt.Sprintf("%s=%d", c, lr.byErr[c])
+		}
+		fmt.Printf("specload: errors  %-28s %s\n", target, strings.Join(parts, " "))
 	}
 }
 
@@ -124,7 +161,18 @@ func main() {
 	expectReject := flag.Bool("expect-reject", true, "treat 429 rejections as expected backpressure")
 	retries := flag.Int("retries", 0, "resubmit attempts after a 429, honoring Retry-After")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff between resubmits (doubles, jittered)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the client-side chaos transport (with -chaos-plan)")
+	chaosPlan := flag.String("chaos-plan", "", `client-side fault plan, e.g. "specload>*:lat=10ms..50ms,err=0.05" (src is "specload")`)
 	flag.Parse()
+
+	var chaosLinks map[string]faultinject.LinkFault
+	if *chaosPlan != "" {
+		var err error
+		if chaosLinks, err = faultinject.ParseChaosPlan(*chaosPlan); err != nil {
+			fmt.Fprintf(os.Stderr, "specload: bad -chaos-plan: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -138,6 +186,15 @@ func main() {
 			continue
 		}
 		c := client.New(t)
+		if chaosLinks != nil {
+			c.HTTPClient = &http.Client{
+				Timeout: 10 * time.Second,
+				Transport: &faultinject.ChaosTransport{
+					Src:    "specload",
+					Config: faultinject.ChaosConfig{Seed: *chaosSeed, Links: chaosLinks},
+				},
+			}
+		}
 		lr := newLatencyRecorder()
 		recorders[c.BaseURL] = lr
 		c.Observe = lr.observe

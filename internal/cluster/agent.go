@@ -8,7 +8,10 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // AgentConfig wires a node's membership agent.
@@ -50,9 +53,18 @@ type Agent struct {
 	revokeMsg string
 	revOnce   sync.Once
 
+	retries   atomic.Int64
+	jitterSeq atomic.Uint64
+
 	stop    chan struct{}
 	stopped sync.WaitGroup
 }
+
+// agentRetryMax bounds the in-period retries of one heartbeat: with
+// heartbeats every TTL/3, two quick retries still finish well inside
+// the period, so a transient router blip costs milliseconds of lease
+// slack instead of a whole heartbeat.
+const agentRetryMax = 2
 
 // StartAgent joins the cluster (the first renewal is the join) and
 // starts the heartbeat loop. The initial join is attempted eagerly and
@@ -76,6 +88,7 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if a.client == nil {
 		a.client = &http.Client{Timeout: 5 * time.Second}
 	}
+	a.jitterSeq.Store(uint64(time.Now().UnixNano()))
 	if err := a.renew(); err != nil {
 		a.cfg.Logf("cluster: initial join of %s failed (will retry): %v", cfg.RouterURL, err)
 	}
@@ -95,12 +108,46 @@ func (a *Agent) loop() {
 		case <-a.revoked:
 			return
 		case <-tick.C:
-			if err := a.renew(); err != nil {
+			if err := a.renewWithRetry(); err != nil {
 				a.cfg.Logf("cluster: lease renewal failed: %v", err)
 			}
 		}
 	}
 }
+
+// renewWithRetry sends one heartbeat, retrying failures with capped
+// exponential backoff and jitter so a transient router blip does not
+// burn a whole heartbeat period of lease slack.
+func (a *Agent) renewWithRetry() error {
+	backoff := 25 * time.Millisecond
+	maxBackoff := a.cfg.TTL / 6
+	if maxBackoff < backoff {
+		maxBackoff = backoff
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = a.renew(); err == nil {
+			return nil
+		}
+		if attempt >= agentRetryMax {
+			return err
+		}
+		a.retries.Add(1)
+		// Sleep in [backoff/2, backoff) so restarting agents desynchronize.
+		d := backoff/2 + time.Duration(rng.New(a.jitterSeq.Add(0x9e3779b97f4a7c15)).Float64()*float64(backoff/2))
+		select {
+		case <-a.stop:
+			return err
+		case <-time.After(d):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// Retries reports heartbeat attempts beyond the first, cumulatively.
+func (a *Agent) Retries() int64 { return a.retries.Load() }
 
 // renew sends one heartbeat and folds the response into the agent.
 func (a *Agent) renew() error {

@@ -37,7 +37,16 @@ import "time"
 const (
 	// StateAlive: lease current, receives placements and handoffs.
 	StateAlive = "alive"
-	// StateDead: lease expired; unfinished jobs are handed off.
+	// StateSuspect: lease expired but the node has not been proven dead.
+	// Under an asymmetric partition the node's heartbeats may be lost
+	// while the router can still reach it — so a suspect keeps serving
+	// the jobs it owns (reads proxy to it, probes check on it) but
+	// receives no new placements or handoffs. A renewal with the same
+	// incarnation restores it to alive; sustained probe failures past
+	// the suspicion grace period declare it dead.
+	StateSuspect = "suspect"
+	// StateDead: lease expired and probes failed past the grace period;
+	// unfinished jobs are handed off.
 	StateDead = "dead"
 	// StateLeft: node announced a clean departure (also hands off).
 	StateLeft = "left"
@@ -48,6 +57,11 @@ const (
 type LoadInfo struct {
 	QueueDepth int   `json:"queue_depth"`
 	Running    int64 `json:"running"`
+	// Degraded reports that the node's journal hit a disk fault and it
+	// is refusing new work (read-only mode). The router routes new
+	// placements and handoffs around a degraded node but keeps proxying
+	// reads to it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // MemberInfo is one row of the membership table, as gossiped to nodes

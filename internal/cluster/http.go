@@ -154,11 +154,14 @@ func (r *Router) handlePlacements(w http.ResponseWriter, req *http.Request) {
 	}{Placements: out})
 }
 
-// handleJob proxies a status read to the job's owner, with two
-// failover behaviors that keep pollers alive across a node death: an
-// unreachable or dead owner answers with the cached last-known status
-// (trajectory replaced by the synced prefix), and an id the owner no
-// longer knows (pre-handoff window) does the same.
+// handleJob proxies a status read to the job's owner, with failover
+// behaviors that keep pollers alive across gray failures: a slow owner
+// is hedged — after hedgeDelay a second request races to the ring
+// successor and the first usable response wins, the loser canceled —
+// while an unreachable owner, or an id the owner no longer knows
+// (pre-handoff window), answers with the cached last-known status
+// (trajectory replaced by the synced prefix). A suspect owner still
+// serves: it is reachable even when its heartbeats are not.
 func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	r.mu.Lock()
@@ -172,22 +175,134 @@ func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
 		return
 	}
-	if m, alive := r.aliveMember(node); alive {
-		url := m.Addr + "/v1/jobs/" + id
+	if m, servable := r.servableMember(node); servable {
+		path := "/v1/jobs/" + id
 		if req.URL.RawQuery != "" {
-			url += "?" + req.URL.RawQuery
+			path += "?" + req.URL.RawQuery
 		}
-		if r.proxyTo(w, req, http.MethodGet, url, node) {
+		if res, won := r.hedgedGet(req, m, path, id); won {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Specd-Node", res.node)
+			if res.code < 300 {
+				var st service.JobStatus
+				if json.Unmarshal(res.body, &st) == nil && st.ID != "" {
+					st.Node = res.node
+					writeJSONStatus(w, res.code, st)
+					return
+				}
+			}
+			w.WriteHeader(res.code)
+			_, _ = w.Write(res.body)
 			return
 		}
 	}
 	r.serveCached(w, pl)
 }
 
-// aliveMember resolves a member id to its row iff it is alive.
-func (r *Router) aliveMember(id string) (MemberInfo, bool) {
+// memberResp is one member's answer to a (possibly hedged) proxy read.
+type memberResp struct {
+	code int
+	body []byte
+	node string
+}
+
+// hedgedGet races the owner against its ring successor. The hedge
+// fires only after hedgeDelay of silence; the first usable answer
+// (anything but a 404, a 5xx, or a transport failure) wins and the
+// loser's request is canceled. When the hedge comes back unusable —
+// the successor usually does not know the job — the read falls back to
+// the router's cached status instead of waiting out a slow or
+// partitioned owner, which is what bounds read tail latency near the
+// hedge delay.
+func (r *Router) hedgedGet(req *http.Request, owner MemberInfo, path, jobID string) (memberResp, bool) {
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	type result struct {
+		memberResp
+		err   error
+		hedge bool
+	}
+	results := make(chan result, 2)
+	fetch := func(m MemberInfo, hedge bool) {
+		code, body, err := r.fetchFrom(ctx, m.Addr, path)
+		results <- result{memberResp{code, body, m.ID}, err, hedge}
+	}
+	start := time.Now()
+	outstanding := 1
+	go fetch(owner, false)
+
+	var hedgeTimer <-chan time.Time
+	if delay := r.hedgeDelay(); delay >= 0 {
+		tm := time.NewTimer(delay)
+		defer tm.Stop()
+		hedgeTimer = tm.C
+	}
+	for outstanding > 0 {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.err == nil && res.code != http.StatusNotFound && res.code < 500 {
+				r.recordLatency(time.Since(start))
+				return res.memberResp, true
+			}
+			if res.err != nil {
+				r.proxyErrors.Add(1)
+			}
+			if res.hedge || outstanding == 0 {
+				// Either nobody is left to answer, or the hedge verdict
+				// is in: stop waiting on the slow owner, serve cached.
+				return memberResp{}, false
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if m, ok := r.hedgeTarget(jobID, owner.ID); ok {
+				r.hedges.Add(1)
+				outstanding++
+				go fetch(m, true)
+			}
+		case <-req.Context().Done():
+			return memberResp{}, false
+		}
+	}
+	return memberResp{}, false
+}
+
+// hedgeTarget picks the replica a hedged read goes to: the first alive
+// ring successor of the job that is not the owner.
+func (r *Router) hedgeTarget(jobID, ownerID string) (MemberInfo, bool) {
+	for _, m := range r.candidates(jobID) {
+		if m.ID != ownerID {
+			return m, true
+		}
+	}
+	return MemberInfo{}, false
+}
+
+// fetchFrom issues one proxied GET to a member. The error return is
+// transport-level only.
+func (r *Router) fetchFrom(ctx context.Context, addr, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	propagateDeadline(req)
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// servableMember resolves a member id to its row iff it can serve
+// reads: alive, or suspect (lease expired yet still answering probes).
+func (r *Router) servableMember(id string) (MemberInfo, bool) {
 	m, ok := r.members.get(id)
-	return m, ok && m.State == StateAlive
+	return m, ok && (m.State == StateAlive || m.State == StateSuspect)
 }
 
 // proxyTo relays one request to a member, returning false on a
@@ -201,6 +316,7 @@ func (r *Router) proxyTo(w http.ResponseWriter, req *http.Request, method, url, 
 	if err != nil {
 		return false
 	}
+	propagateDeadline(preq)
 	resp, err := r.cfg.HTTPClient.Do(preq)
 	if err != nil {
 		r.proxyErrors.Add(1)
@@ -266,8 +382,8 @@ func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
 		return
 	}
-	m, alive := r.aliveMember(node)
-	if !alive {
+	m, servable := r.servableMember(node)
+	if !servable {
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorBody{Error: "job owner is down; cancel after handoff completes"})
 		return
@@ -277,12 +393,13 @@ func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// handleList fans out to every alive member and merges, adding cached
-// rows for placements whose owner did not answer (so the job count
-// never dips mid-failover).
+// handleList fans out to every servable member (suspects included:
+// they still answer) and merges, adding cached rows for placements
+// whose owner did not answer (so the job count never dips
+// mid-failover).
 func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 	seen := make(map[string]service.JobStatus)
-	for _, m := range r.members.alive() {
+	for _, m := range append(r.members.alive(), r.members.suspects()...) {
 		jobs, err := r.fetchJobs(m.Addr)
 		if err != nil {
 			r.scrapeErrors.Add(1)
@@ -323,12 +440,17 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	var suspect []string
+	for _, m := range r.members.suspects() {
+		suspect = append(suspect, m.ID)
+	}
 	writeJSON(w, http.StatusOK, service.Health{
-		Status:     "ok",
-		Uptime:     r.Uptime().Seconds(),
-		Role:       "router",
-		Members:    r.members.counts(),
-		Placements: r.placementCount(),
+		Status:         "ok",
+		Uptime:         r.Uptime().Seconds(),
+		Role:           "router",
+		Members:        r.members.counts(),
+		SuspectMembers: suspect,
+		Placements:     r.placementCount(),
 	})
 }
 
@@ -349,7 +471,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	for _, m := range members {
 		counts[m.State]++
 	}
-	for _, st := range []string{StateAlive, StateDead, StateLeft} {
+	for _, st := range []string{StateAlive, StateSuspect, StateDead, StateLeft} {
 		fmt.Fprintf(&b, "cluster_members{state=%q} %d\n", st, counts[st])
 	}
 	header("cluster_member_up", "1 while the member's lease is current.", "gauge")
@@ -360,6 +482,8 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		}
 		fmt.Fprintf(&b, "cluster_member_up{node=%q} %d\n", m.ID, up)
 	}
+	header("specd_suspect_members", "Members whose lease expired but are not yet proven dead.", "gauge")
+	fmt.Fprintf(&b, "specd_suspect_members %d\n", counts[StateSuspect])
 	header("cluster_member_queue_depth", "Queue depth last reported by the member.", "gauge")
 	for _, m := range members {
 		fmt.Fprintf(&b, "cluster_member_queue_depth{node=%q} %d\n", m.ID, m.Load.QueueDepth)
@@ -381,6 +505,10 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(&b, "cluster_proxy_errors_total %d\n", r.proxyErrors.Load())
 	header("cluster_scrape_errors_total", "Failed member scrapes during fan-out.", "counter")
 	fmt.Fprintf(&b, "cluster_scrape_errors_total %d\n", r.scrapeErrors.Load())
+	header("specd_router_hedges_total", "Hedged reads fired to a successor replica.", "counter")
+	fmt.Fprintf(&b, "specd_router_hedges_total %d\n", r.hedges.Load())
+	header("specd_rpc_retries_total", "Member RPC attempts beyond the first.", "counter")
+	fmt.Fprintf(&b, "specd_rpc_retries_total %d\n", r.rpcRetries.Load())
 	header("cluster_router_uptime_seconds", "Seconds since the router started.", "gauge")
 	fmt.Fprintf(&b, "cluster_router_uptime_seconds %g\n", r.Uptime().Seconds())
 

@@ -16,6 +16,11 @@ type memberTable struct {
 
 type memberEntry struct {
 	info MemberInfo
+	// suspectAt is when the lease expired and the member entered
+	// StateSuspect; the probe grace period is measured from here.
+	suspectAt time.Time
+	// probeFails counts consecutive failed probes while suspect.
+	probeFails int
 }
 
 func newMemberTable(now func() time.Time) *memberTable {
@@ -33,9 +38,13 @@ func newMemberTable(now func() time.Time) *memberTable {
 //     process — fresh alive lease.
 //   - lower incarnation than recorded: a zombie from before a restart —
 //     revoked.
-//   - equal incarnation but the lease is no longer alive: the failure
+//   - equal incarnation but the lease is dead or left: the failure
 //     detector already declared this process dead (its jobs may be
 //     handed off) — revoked; the process must drain and restart.
+//   - equal incarnation, suspect: the partition healed (or a delayed
+//     heartbeat got through) before the node was proven dead — restored
+//     to alive. This is the whole point of the suspect state: a node
+//     that can still serve is not revoked for missed heartbeats alone.
 //   - equal incarnation, alive: plain renewal.
 func (t *memberTable) renew(req renewRequest, ttl time.Duration) (resp renewResponse, changed bool) {
 	t.mu.Lock()
@@ -50,12 +59,14 @@ func (t *memberTable) renew(req renewRequest, ttl time.Duration) (resp renewResp
 		// Lazily expire before judging, so a heartbeat that lost the
 		// race against the sweep is treated identically either way.
 		if e.info.State == StateAlive && !now.Before(e.info.Expires) {
-			e.info.State = StateDead
+			e.info.State = StateSuspect
+			e.suspectAt = e.info.Expires
 		}
 		switch {
 		case req.Incarnation < e.info.Incarnation:
 			return renewResponse{Revoked: true, Reason: "stale incarnation"}, false
-		case req.Incarnation == e.info.Incarnation && e.info.State != StateAlive:
+		case req.Incarnation == e.info.Incarnation &&
+			e.info.State != StateAlive && e.info.State != StateSuspect:
 			return renewResponse{Revoked: true, Reason: "lease " + e.info.State}, false
 		}
 	}
@@ -72,24 +83,72 @@ func (t *memberTable) renew(req renewRequest, ttl time.Duration) (resp renewResp
 		Expires:     now.Add(ttl),
 		Load:        req.Load,
 	}
+	e.suspectAt = time.Time{}
+	e.probeFails = 0
 	return renewResponse{OK: true, Expires: e.info.Expires, Members: t.viewLocked()}, changed
 }
 
-// sweep expires overdue leases and returns the ids newly declared dead
-// this pass — the trigger for job handoff.
+// sweep expires overdue leases into StateSuspect and returns the ids
+// newly suspected this pass. Suspects are not dead yet: the caller
+// probes them (see judge) and only sustained probe failure past the
+// grace period triggers handoff. This keeps an asymmetric partition —
+// the node's heartbeats are lost but the router can still reach it —
+// from revoking a node that is still serving its jobs.
 func (t *memberTable) sweep() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.now()
-	var dead []string
+	var suspected []string
 	for id, e := range t.members {
 		if e.info.State == StateAlive && !now.Before(e.info.Expires) {
-			e.info.State = StateDead
-			dead = append(dead, id)
+			e.info.State = StateSuspect
+			e.suspectAt = now
+			e.probeFails = 0
+			suspected = append(suspected, id)
 		}
 	}
-	sort.Strings(dead)
-	return dead
+	sort.Strings(suspected)
+	return suspected
+}
+
+// suspects returns the suspect members, sorted by id — the probe list.
+func (t *memberTable) suspects() []MemberInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []MemberInfo
+	for _, e := range t.members {
+		if e.info.State == StateSuspect {
+			out = append(out, e.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// judge records a probe result for a suspect. A successful probe means
+// the node is reachable and serving — it stays suspect (its lease is
+// still unrenewed) but the failure count resets, so it is never
+// declared dead while it answers. A failed probe counts toward death:
+// once probes have failed and the grace period since suspicion has
+// elapsed, the member transitions to StateDead and judge returns true —
+// the trigger for handoff.
+func (t *memberTable) judge(id string, probeOK bool, grace time.Duration) (nowDead bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.members[id]
+	if !ok || e.info.State != StateSuspect {
+		return false
+	}
+	if probeOK {
+		e.probeFails = 0
+		return false
+	}
+	e.probeFails++
+	if !t.now().Before(e.suspectAt.Add(grace)) {
+		e.info.State = StateDead
+		return true
+	}
+	return false
 }
 
 // leave marks a clean departure. Stale incarnations are ignored; a

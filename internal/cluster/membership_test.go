@@ -46,8 +46,10 @@ func TestRenewalBeatsExpiry(t *testing.T) {
 }
 
 // The same race, order 2: the lease expires first (whether the sweep
-// has run yet or not), then the heartbeat arrives. The node must be
-// told its lease is gone — it may have had jobs handed off.
+// has run yet or not), then the heartbeat arrives. Expiry alone no
+// longer revokes: the node parks in suspect and the late heartbeat
+// restores it. Only once probes have proven it dead — its jobs may be
+// handed off — is the same-incarnation heartbeat refused for good.
 func TestExpiryBeatsRenewal(t *testing.T) {
 	for _, sweepFirst := range []bool{true, false} {
 		tbl, clk := newTestTable()
@@ -56,14 +58,77 @@ func TestExpiryBeatsRenewal(t *testing.T) {
 
 		clk.advance(ttl) // exactly at the deadline: expired
 		if sweepFirst {
-			if dead := tbl.sweep(); len(dead) != 1 || dead[0] != "n1" {
-				t.Fatalf("sweep = %v, want [n1]", dead)
+			if sus := tbl.sweep(); len(sus) != 1 || sus[0] != "n1" {
+				t.Fatalf("sweep = %v, want [n1]", sus)
 			}
 		}
 		resp, _ := tbl.renew(renewRequest{ID: "n1", Addr: "a", Incarnation: 1}, ttl)
-		if !resp.Revoked {
-			t.Fatalf("sweepFirst=%v: late renewal under the same incarnation not revoked: %+v", sweepFirst, resp)
+		if !resp.OK || resp.Revoked {
+			t.Fatalf("sweepFirst=%v: late renewal should restore the suspect lease: %+v", sweepFirst, resp)
 		}
+		if m, _ := tbl.get("n1"); m.State != StateAlive {
+			t.Fatalf("sweepFirst=%v: n1 state = %s after restore, want alive", sweepFirst, m.State)
+		}
+
+		// Probes prove it dead: now the heartbeat is refused.
+		clk.advance(2 * ttl)
+		tbl.sweep()
+		if !tbl.judge("n1", false, 0) {
+			t.Fatal("judge with zero grace should declare the suspect dead")
+		}
+		resp, _ = tbl.renew(renewRequest{ID: "n1", Addr: "a", Incarnation: 1}, ttl)
+		if !resp.Revoked {
+			t.Fatalf("sweepFirst=%v: renewal after proven death not revoked: %+v", sweepFirst, resp)
+		}
+	}
+}
+
+// The suspect lifecycle: expiry suspects, a node that answers probes is
+// never declared dead no matter how long its heartbeats stay lost, and
+// sustained probe failure kills it only past the grace period.
+func TestSuspectLifecycle(t *testing.T) {
+	tbl, clk := newTestTable()
+	ttl := time.Second
+	grace := 2 * ttl
+	renewOK(t, tbl, "n1", 1, ttl)
+
+	clk.advance(ttl)
+	tbl.sweep()
+	if m, _ := tbl.get("n1"); m.State != StateSuspect {
+		t.Fatalf("n1 state = %s after expiry, want suspect", m.State)
+	}
+
+	// Asymmetric partition: heartbeats lost, probes answered. The node
+	// must survive arbitrarily many grace periods.
+	for i := 0; i < 10; i++ {
+		clk.advance(grace)
+		if tbl.judge("n1", true, grace) {
+			t.Fatal("a suspect that answers probes must not be declared dead")
+		}
+	}
+	if m, _ := tbl.get("n1"); m.State != StateSuspect {
+		t.Fatalf("n1 state = %s, want still suspect", m.State)
+	}
+
+	// The partition heals: one heartbeat restores the lease untouched.
+	renewOK(t, tbl, "n1", 1, ttl)
+	if m, _ := tbl.get("n1"); m.State != StateAlive {
+		t.Fatalf("n1 state = %s after heartbeat, want alive", m.State)
+	}
+
+	// Real death: probes fail. Inside the grace window the node stays
+	// suspect; past it, it dies.
+	clk.advance(ttl)
+	tbl.sweep()
+	if tbl.judge("n1", false, grace) {
+		t.Fatal("a failed probe inside the grace period must not kill the suspect")
+	}
+	clk.advance(grace)
+	if !tbl.judge("n1", false, grace) {
+		t.Fatal("failed probes past the grace period should declare the suspect dead")
+	}
+	if m, _ := tbl.get("n1"); m.State != StateDead {
+		t.Fatalf("n1 state = %s, want dead", m.State)
 	}
 }
 
@@ -118,7 +183,10 @@ func TestRenewalGossipsView(t *testing.T) {
 	renewOK(t, tbl, "n1", 1, ttl)
 	renewOK(t, tbl, "n2", 1, ttl)
 	clk.advance(2 * ttl)
-	tbl.sweep() // both dead
+	tbl.sweep() // both suspect
+	if !tbl.judge("n2", false, 0) {
+		t.Fatal("judge should declare n2 dead")
+	}
 	resp := renewOK(t, tbl, "n1", 2, ttl)
 	states := map[string]string{}
 	for _, m := range resp.Members {

@@ -80,8 +80,12 @@ func (r *hashRing) successors(key string) []string {
 	return out
 }
 
-// hash64 is FNV-1a (64-bit): fast, dependency-free, and good enough
-// spread for ring placement.
+// hash64 is FNV-1a (64-bit) with a murmur-style avalanche finalizer.
+// Raw FNV barely diffuses the last byte into the high bits, and ring
+// lookups order on the full 64-bit value — short sequential ids like
+// "c1".."c99" would otherwise land in one arc and pile every placement
+// onto one member. The finalizer spreads single-byte differences across
+// the whole word.
 func hash64(b []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -92,5 +96,10 @@ func hash64(b []byte) uint64 {
 		h ^= uint64(c)
 		h *= prime64
 	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }

@@ -45,6 +45,20 @@ func TestRingBalanceAndStability(t *testing.T) {
 		}
 	}
 
+	// Short sequential ids — the router's actual id sequence — must
+	// spread too: raw FNV-1a once parked all of "c1".."c99" on a single
+	// member because the last byte barely reached the high bits.
+	three := buildRing([]string{"n1", "n2", "n3"}, 0)
+	short := make(map[string]int)
+	for i := 1; i <= 99; i++ {
+		short[three.lookup(fmt.Sprintf("c%d", i))]++
+	}
+	for _, id := range []string{"n1", "n2", "n3"} {
+		if short[id] == 0 {
+			t.Errorf("member %s owns none of c1..c99: %v", id, short)
+		}
+	}
+
 	// Removing one member must not move keys between the survivors.
 	small := buildRing([]string{"n1", "n2", "n3"}, 0)
 	moved := 0

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/rng"
 	"repro/internal/service"
 )
 
@@ -47,6 +48,25 @@ type RouterConfig struct {
 	Fsync journal.Policy
 	// HTTPClient talks to members (default: 5s timeout).
 	HTTPClient *http.Client
+	// SuspectGrace is how long a member may stay suspect (lease expired
+	// but not proven dead) before failed probes declare it dead and its
+	// jobs hand off (2×LeaseTTL). Probes that succeed keep resetting the
+	// failure count, so a node cut off from the router by an asymmetric
+	// partition — it cannot heartbeat, but it answers probes — is never
+	// revoked while it still serves.
+	SuspectGrace time.Duration
+	// ProbeTimeout bounds each /healthz probe of a suspect (1s).
+	ProbeTimeout time.Duration
+	// HedgeDelay is how long a proxied read waits on the placement owner
+	// before hedging a second request to the ring successor. Zero means
+	// adaptive: the observed p99 proxy latency, clamped to
+	// [10ms, HTTPClient timeout/2]. Negative disables hedging.
+	HedgeDelay time.Duration
+	// RetryMax caps RPC attempts per member for placement and handoff
+	// posts (3). Retries back off exponentially with jitter from
+	// RetryBase (25ms), capped at 500ms.
+	RetryMax  int
+	RetryBase time.Duration
 	// Logf receives router lifecycle lines (optional).
 	Logf func(format string, args ...any)
 	// Now is the failure detector's clock (tests inject one).
@@ -74,6 +94,18 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.SuspectGrace <= 0 {
+		c.SuspectGrace = 2 * c.LeaseTTL
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -119,6 +151,16 @@ type Router struct {
 	deadNodes    atomic.Int64 // members declared dead
 	proxyErrors  atomic.Int64 // member requests that failed at transport level
 	scrapeErrors atomic.Int64 // failed member scrapes during fan-out
+	hedges       atomic.Int64 // hedged reads fired to a successor replica
+	rpcRetries   atomic.Int64 // RPC attempts beyond the first, across all member calls
+
+	// latMu guards the sliding window of proxied-read latencies that
+	// feeds the adaptive hedge delay.
+	latMu      sync.Mutex
+	latSamples []time.Duration
+	latNext    int
+
+	jitterSeq atomic.Uint64 // backoff jitter stream
 
 	start   time.Time
 	stop    chan struct{}
@@ -164,6 +206,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		start:      time.Now(),
 		stop:       make(chan struct{}),
 	}
+	r.jitterSeq.Store(uint64(time.Now().UnixNano()))
 	if cfg.DataDir != "" {
 		if err := r.replayWAL(); err != nil {
 			return nil, err
@@ -297,9 +340,21 @@ func (r *Router) rebuildRing() {
 // first (with its ring successors as deterministic tie-breakers), then
 // any remaining alive members by ascending load. The ring walk already
 // covers every alive member, so the load sort only reorders the
-// non-owner tail.
+// non-owner tail. Members that reported a degraded journal are
+// excluded — they would 503 every submit anyway, so the router routes
+// around them instead of burning an RPC to learn it.
 func (r *Router) candidates(id string) []MemberInfo {
 	alive := r.members.alive()
+	if len(alive) == 0 {
+		return nil
+	}
+	healthy := alive[:0:0]
+	for _, m := range alive {
+		if !m.Load.Degraded {
+			healthy = append(healthy, m)
+		}
+	}
+	alive = healthy
 	if len(alive) == 0 {
 		return nil
 	}
@@ -394,17 +449,130 @@ func (r *Router) recordPlacement(id string, spec service.JobSpec, node string) {
 	r.appendWAL(walRecord{Type: "place", ID: id, Node: node, Attempt: 1, Spec: &spec})
 }
 
+// propagateDeadline copies the request context's deadline into the
+// cross-hop deadline header, so a member stops working on a call whose
+// originator has already given up.
+func propagateDeadline(req *http.Request) {
+	if dl, ok := req.Context().Deadline(); ok {
+		req.Header.Set(service.DeadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
+	}
+}
+
+// retryDo runs one member RPC with capped exponential backoff and
+// jitter. build must return a fresh request per attempt (bodies are
+// consumed). Only transport errors retry — an HTTP answer, whatever
+// the code, is the member's answer and comes back as-is.
+func (r *Router) retryDo(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.RetryMax; attempt++ {
+		if attempt > 0 {
+			r.rpcRetries.Add(1)
+			if !r.backoff(ctx, attempt-1) {
+				break
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		propagateDeadline(req)
+		resp, err := r.cfg.HTTPClient.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps the jittered exponential delay for retry n (0-based):
+// uniform in [d/2, d) where d doubles from RetryBase, capped at 500ms.
+// Returns false when ctx ends first.
+func (r *Router) backoff(ctx context.Context, n int) bool {
+	d := r.cfg.RetryBase << n
+	if max := 500 * time.Millisecond; d > max {
+		d = max
+	}
+	jit := rng.New(r.jitterSeq.Add(0x9e3779b97f4a7c15)).Float64()
+	d = d/2 + time.Duration(jit*float64(d/2))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// latWindow is the sliding-window size of the proxy-latency estimator.
+const latWindow = 256
+
+// recordLatency feeds one successful proxied-read latency into the
+// window behind the adaptive hedge delay.
+func (r *Router) recordLatency(d time.Duration) {
+	r.latMu.Lock()
+	defer r.latMu.Unlock()
+	if len(r.latSamples) < latWindow {
+		r.latSamples = append(r.latSamples, d)
+		return
+	}
+	r.latSamples[r.latNext] = d
+	r.latNext = (r.latNext + 1) % latWindow
+}
+
+// hedgeDelay returns how long a proxied read waits on the owner before
+// hedging: the configured value when set (negative = never), otherwise
+// the observed p99 proxy latency clamped to [10ms, half the member
+// client's timeout], defaulting to 100ms until enough samples exist.
+func (r *Router) hedgeDelay() time.Duration {
+	if r.cfg.HedgeDelay != 0 {
+		return r.cfg.HedgeDelay
+	}
+	r.latMu.Lock()
+	samples := append([]time.Duration(nil), r.latSamples...)
+	r.latMu.Unlock()
+	max := 2500 * time.Millisecond
+	if t := r.cfg.HTTPClient.Timeout; t > 0 {
+		max = t / 2
+	}
+	if len(samples) < 16 {
+		d := 100 * time.Millisecond
+		if d > max {
+			d = max
+		}
+		return d
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p99 := samples[len(samples)*99/100]
+	if p99 < 10*time.Millisecond {
+		p99 = 10 * time.Millisecond
+	}
+	if p99 > max {
+		p99 = max
+	}
+	return p99
+}
+
 // postJob POSTs a pre-assigned job to one member. The error return is
 // transport-level only; HTTP answers come back as (status, code, nil).
 func (r *Router) postJob(ctx context.Context, addr, id string, payload []byte) (service.JobStatus, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		addr+"/v1/jobs", bytes.NewReader(payload))
-	if err != nil {
-		return service.JobStatus{}, 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(service.JobIDHeader, id)
-	resp, err := r.cfg.HTTPClient.Do(req)
+	resp, err := r.retryDo(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			addr+"/v1/jobs", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.JobIDHeader, id)
+		return req, nil
+	})
 	if err != nil {
 		return service.JobStatus{}, 0, err
 	}
@@ -435,16 +603,54 @@ func (r *Router) sweepLoop() {
 }
 
 func (r *Router) sweepOnce() {
-	dead := r.members.sweep()
+	// Expired leases become suspects, not corpses: the member drops off
+	// the placement ring (no new work) but keeps serving the jobs it
+	// owns while probes decide its fate. This is what lets a node on
+	// the losing side of an asymmetric partition — its heartbeats are
+	// lost, the router can still reach it — survive without a revoked
+	// lease or a double-executed job.
+	suspected := r.members.sweep()
+	if len(suspected) > 0 {
+		r.rebuildRing()
+		for _, id := range suspected {
+			r.cfg.Logf("cluster: member %s lease expired, now suspect (probing)", id)
+		}
+	}
+	var dead []string
+	for _, m := range r.members.suspects() {
+		ok := r.probe(m.Addr)
+		if r.members.judge(m.ID, ok, r.cfg.SuspectGrace) {
+			dead = append(dead, m.ID)
+		}
+	}
 	if len(dead) > 0 {
 		r.deadNodes.Add(int64(len(dead)))
-		r.rebuildRing()
 		for _, id := range dead {
-			r.cfg.Logf("cluster: member %s lease expired, handing off its jobs", id)
+			r.cfg.Logf("cluster: member %s failed probes past suspect grace, handing off its jobs", id)
 			r.handoffNode(id)
 		}
 	}
 	r.reconcile()
+}
+
+// probe checks whether a suspect still answers its health endpoint.
+// Any HTTP response counts as proof of life — a degraded or draining
+// node is unwell, not dead, and handing off its running jobs would
+// double-execute them.
+func (r *Router) probe(addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return true
 }
 
 // handoffNode re-places every unfinished job owned by the given member.
@@ -521,13 +727,15 @@ func (r *Router) handoffJob(pl *placement) {
 }
 
 func (r *Router) postHandoff(ctx context.Context, addr string, payload []byte) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		addr+"/v1/cluster/handoff", bytes.NewReader(payload))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := r.cfg.HTTPClient.Do(req)
+	resp, err := r.retryDo(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			addr+"/v1/cluster/handoff", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -587,7 +795,9 @@ func (r *Router) syncLoop() {
 }
 
 func (r *Router) syncOnce() {
-	for _, m := range r.members.alive() {
+	// Suspects are synced too: they are still running their jobs, and a
+	// fresh trajectory tail is exactly what a later handoff needs.
+	for _, m := range append(r.members.alive(), r.members.suspects()...) {
 		jobs, err := r.fetchJobs(m.Addr)
 		if err != nil {
 			r.scrapeErrors.Add(1)

@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -173,11 +176,21 @@ func TestRouterHandoffOnDeath(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	// n1 dies: its lease expires while n2 keeps renewing.
+	// n1 dies: its process stops answering and its lease expires while
+	// n2 keeps renewing. The first sweep only suspects n1 (a probe could
+	// still save it); with the server gone, probes fail, and the sweep
+	// past the grace period declares it dead and hands off.
+	n1.srv.Close()
 	clk.advance(r.cfg.LeaseTTL / 2)
 	joinNode(t, r, "n2", n2.srv.URL, 1) // renewal
 	clk.advance(3 * r.cfg.LeaseTTL / 4) // n1 now past its deadline
-	r.sweepOnce()
+	r.sweepOnce()                       // n1 -> suspect, first failed probe
+	if m, _ := r.members.get("n1"); m.State != StateSuspect {
+		t.Fatalf("n1 state = %s after first sweep, want suspect", m.State)
+	}
+	clk.advance(r.cfg.SuspectGrace)
+	joinNode(t, r, "n2", n2.srv.URL, 1) // keep the survivor's lease fresh
+	r.sweepOnce()                       // probe fails past grace -> dead -> handoff
 
 	r.mu.Lock()
 	pl := r.placements[id]
@@ -240,9 +253,14 @@ func TestRouterServesCachedStatusWhileOwnerDown(t *testing.T) {
 	}
 	r.syncOnce()
 
-	// Kill the lease (no survivors: the handoff stays pending).
+	// Kill the node and its lease: the server is gone, so probes fail
+	// and the sweep past the grace period declares it dead (no
+	// survivors: the handoff stays pending).
+	n1.srv.Close()
 	clk.advance(2 * r.cfg.LeaseTTL)
-	r.sweepOnce()
+	r.sweepOnce() // suspect
+	clk.advance(r.cfg.SuspectGrace)
+	r.sweepOnce() // dead
 
 	rsrv := httptest.NewServer(r.Handler())
 	defer rsrv.Close()
@@ -263,5 +281,110 @@ func TestRouterServesCachedStatusWhileOwnerDown(t *testing.T) {
 	r.mu.Unlock()
 	if !pending {
 		t.Fatalf("placement should be pending handoff with no survivors")
+	}
+}
+
+// An asymmetric partition: the node's heartbeats stop reaching the
+// router, but the router can still reach the node. The member must park
+// in suspect — reads keep proxying to it, its jobs are never handed off
+// — and a late heartbeat restores it without any job movement.
+func TestRouterAsymmetricPartitionKeepsSuspectServing(t *testing.T) {
+	n1 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1})
+	r, clk := testRouter(t)
+	joinNode(t, r, "n1", n1.srv.URL, 1)
+
+	ctx := context.Background()
+	st, code, err := r.place(ctx, service.JobSpec{
+		Workload: "mesh", Controller: "fixed", FixedM: 2, Size: 20000, Seed: 3, Parallel: 1,
+	})
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("place: code=%d err=%v", code, err)
+	}
+
+	// Heartbeats stop, but the node's server stays up: probes succeed,
+	// so no matter how many grace periods pass the node is never killed.
+	clk.advance(2 * r.cfg.LeaseTTL)
+	r.sweepOnce()
+	clk.advance(2 * r.cfg.SuspectGrace)
+	r.sweepOnce()
+	if m, _ := r.members.get("n1"); m.State != StateSuspect {
+		t.Fatalf("n1 state = %s, want suspect while probes succeed", m.State)
+	}
+
+	// Reads still reach the live owner, not the cached copy.
+	rsrv := httptest.NewServer(r.Handler())
+	defer rsrv.Close()
+	resp, err := http.Get(rsrv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatalf("GET via router: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status answered %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Specd-Cached") == "1" {
+		t.Fatal("read should proxy to the reachable suspect, not serve the cache")
+	}
+
+	r.mu.Lock()
+	pl := r.placements[st.ID]
+	node, pending := pl.Node, pl.Pending
+	r.mu.Unlock()
+	if node != "n1" || pending {
+		t.Fatalf("placement moved (node=%s pending=%v); a suspect's jobs must stay put", node, pending)
+	}
+
+	// /healthz surfaces the suspect.
+	hres, err := http.Get(rsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var health service.Health
+	if err := json.NewDecoder(hres.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	hres.Body.Close()
+	if len(health.SuspectMembers) != 1 || health.SuspectMembers[0] != "n1" {
+		t.Fatalf("suspect_members = %v, want [n1]", health.SuspectMembers)
+	}
+
+	// The partition heals: the next heartbeat restores the lease.
+	joinNode(t, r, "n1", n1.srv.URL, 1)
+	if m, _ := r.members.get("n1"); m.State != StateAlive {
+		t.Fatalf("n1 state = %s after heartbeat, want alive", m.State)
+	}
+}
+
+// The gray-failure metric families must appear on the router's
+// /metrics, with specd_suspect_members tracking the failure detector.
+func TestRouterMetricsFamilies(t *testing.T) {
+	n1 := startNode(t, service.Config{Workers: 2, QueueCap: 32, DefaultParallel: 1})
+	r, clk := testRouter(t)
+	joinNode(t, r, "n1", n1.srv.URL, 1)
+
+	clk.advance(2 * r.cfg.LeaseTTL)
+	r.sweepOnce() // n1 suspect
+
+	rsrv := httptest.NewServer(r.Handler())
+	defer rsrv.Close()
+	resp, err := http.Get(rsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"specd_suspect_members 1",
+		"specd_router_hedges_total 0",
+		"specd_rpc_retries_total 0",
+		`cluster_members{state="suspect"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/vfs"
+)
+
+// ErrNoSpace is the canonical disk-full error injected by FaultFS
+// tests (ENOSPC, exactly what a real full filesystem returns).
+var ErrNoSpace error = syscall.ENOSPC
+
+// FaultFS wraps a vfs.FS with programmable failures, so journal tests
+// can make fsync fail mid-group-commit or the disk fill up during a
+// rotation without touching the real filesystem. Rules are matched by
+// operation and path substring; faults flip on and off at runtime
+// (Fail / Clear), which is how tests model a disk that heals.
+//
+// Operations: "open" (OpenFile/Open), "write" (File.Write), "sync"
+// (File.Sync), "read" (ReadFile/ReadDir), "mkdir", "remove", "rename",
+// "truncate".
+type FaultFS struct {
+	base vfs.FS
+
+	mu    sync.Mutex
+	rules []fsRule
+
+	injected atomic.Int64
+}
+
+type fsRule struct {
+	op     string
+	substr string // path substring filter; "" matches every path
+	err    error
+}
+
+// NewFaultFS wraps base (nil = the real OS filesystem).
+func NewFaultFS(base vfs.FS) *FaultFS {
+	if base == nil {
+		base = vfs.OS{}
+	}
+	return &FaultFS{base: base}
+}
+
+// Fail arms a fault: every op on a path containing substr returns err
+// until Clear. Multiple rules stack; the first match wins.
+func (f *FaultFS) Fail(op, substr string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, fsRule{op: op, substr: substr, err: err})
+}
+
+// Clear disarms every fault — the disk has healed.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected reports how many operations failed by injection.
+func (f *FaultFS) Injected() int64 { return f.injected.Load() }
+
+func (f *FaultFS) check(op, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.op == op && (r.substr == "" || strings.Contains(name, r.substr)) {
+			f.injected.Add(1)
+			return r.err
+		}
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error) {
+	if err := f.check("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f, name: name}, nil
+}
+
+func (f *FaultFS) Open(name string) (vfs.File, error) {
+	if err := f.check("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f, name: name}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check("read", name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.check("read", name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if err := f.check("mkdir", name); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(name, perm)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check("remove", name); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.check("rename", oldpath); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.check("truncate", name); err != nil {
+		return err
+	}
+	return f.base.Truncate(name, size)
+}
+
+// faultFile routes write and sync through the fault table, so a fault
+// armed after a file was opened still hits it (a disk goes bad under
+// an open handle — the fsync-failure case).
+type faultFile struct {
+	f    vfs.File
+	fs   *FaultFS
+	name string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if err := ff.fs.check("write", ff.name); err != nil {
+		return 0, err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.check("sync", ff.name); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

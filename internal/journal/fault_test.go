@@ -1,0 +1,242 @@
+// Fault-path coverage for the journal through the injectable
+// filesystem seam: fsync failure mid-group-commit, ENOSPC during
+// segment rotation, and ENOSPC during snapshot compaction. Each case
+// asserts the core durability contract — no acknowledged record is
+// ever torn or lost — and that the journal re-opens cleanly once the
+// fault clears.
+//
+// External test package: faultinject imports vfs alongside journal, so
+// these tests cannot live in package journal without a cycle.
+package journal_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+)
+
+// replayAll re-opens dir and returns the replayed record payloads.
+func replayAll(t *testing.T, dir string, opts journal.Options) [][]byte {
+	t.Helper()
+	rep, err := journal.Replay(dir, opts)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return rep.Records
+}
+
+// assertContains fails unless every record in want appears in got
+// (acknowledged records must survive; unacknowledged extras may).
+func assertContains(t *testing.T, got [][]byte, want map[string]bool) {
+	t.Helper()
+	have := make(map[string]bool, len(got))
+	for _, r := range got {
+		have[string(r)] = true
+	}
+	for rec := range want {
+		if !have[rec] {
+			t.Errorf("acknowledged record %q lost after fault", rec)
+		}
+	}
+}
+
+func TestJournalFsyncErrorMidGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(nil)
+	opts := journal.Options{Fsync: journal.SyncAlways, FS: ffs}
+	j, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acked := make(map[string]bool)
+	var ackedMu sync.Mutex
+	for i := 0; i < 10; i++ {
+		rec := fmt.Sprintf("pre-%03d", i)
+		if err := j.Append([]byte(rec)); err != nil {
+			t.Fatalf("healthy append %d: %v", i, err)
+		}
+		acked[rec] = true
+	}
+
+	// The disk goes bad under the open segment: a group of concurrent
+	// appenders all share the failing fsync, and every one of them must
+	// see the error — none may treat a failed group commit as an ack.
+	ffs.Fail("sync", "wal-", faultinject.ErrNoSpace)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = j.Append([]byte(fmt.Sprintf("doomed-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("append %d acknowledged during fsync fault", i)
+		}
+	}
+	if j.Err() == nil {
+		t.Fatal("journal did not latch the fsync error")
+	}
+	// The error is sticky: later appends fail fast without touching disk.
+	if err := j.Append([]byte("while-broken")); err == nil {
+		t.Fatal("append succeeded on a broken journal")
+	}
+
+	// The disk heals: Reopen clears the sticky error and appending
+	// resumes in a fresh segment.
+	ffs.Clear()
+	if err := j.Reopen(); err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	if j.Err() != nil {
+		t.Fatalf("sticky error survived reopen: %v", j.Err())
+	}
+	for i := 0; i < 10; i++ {
+		rec := fmt.Sprintf("post-%03d", i)
+		if err := j.Append([]byte(rec)); err != nil {
+			t.Fatalf("append after reopen: %v", err)
+		}
+		ackedMu.Lock()
+		acked[rec] = true
+		ackedMu.Unlock()
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Clean re-open: replay must not report corruption, and every
+	// acknowledged record must be present and whole.
+	assertContains(t, replayAll(t, dir, opts), acked)
+}
+
+func TestJournalENOSPCDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(nil)
+	// Tiny segments so appends rotate constantly.
+	opts := journal.Options{Fsync: journal.SyncAlways, SegmentBytes: 128, FS: ffs}
+	j, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acked := make(map[string]bool)
+	append32 := func(tag string, n int) (lastErr error) {
+		for i := 0; i < n; i++ {
+			rec := fmt.Sprintf("%s-%03d-xxxxxxxxxxxxxxxxxxxxxxxx", tag, i)
+			if err := j.Append([]byte(rec)); err != nil {
+				return err
+			}
+			acked[rec] = true
+		}
+		return nil
+	}
+	if err := append32("pre", 8); err != nil {
+		t.Fatalf("healthy appends: %v", err)
+	}
+
+	// Disk full: the next rotation cannot create its segment file.
+	ffs.Fail("open", "wal-", faultinject.ErrNoSpace)
+	var sawErr bool
+	for i := 0; i < 16; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("doomed-%03d-xxxxxxxxxxxxxxxxxxxx", i))); err != nil {
+			if !errors.Is(err, faultinject.ErrNoSpace) {
+				t.Fatalf("rotation fault surfaced as %v, want ENOSPC", err)
+			}
+			sawErr = true
+			break
+		}
+		acked[fmt.Sprintf("doomed-%03d-xxxxxxxxxxxxxxxxxxxx", i)] = true
+	}
+	if !sawErr {
+		t.Fatal("ENOSPC on rotation never surfaced")
+	}
+	if j.Err() == nil {
+		t.Fatal("journal did not latch the rotation error")
+	}
+
+	ffs.Clear()
+	if err := j.Reopen(); err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	if err := append32("post", 8); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	assertContains(t, replayAll(t, dir, opts), acked)
+}
+
+func TestJournalENOSPCDuringSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS(nil)
+	opts := journal.Options{Fsync: journal.SyncAlways, FS: ffs}
+	j, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acked := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		rec := fmt.Sprintf("rec-%03d", i)
+		if err := j.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+		acked[rec] = true
+	}
+
+	// Disk full during the snapshot tmp-write: compaction must fail
+	// loudly, leave no (possibly torn) snapshot behind, and leave the
+	// append path healthy — the WAL segments still hold every record.
+	ffs.Fail("write", "snap.tmp", faultinject.ErrNoSpace)
+	if err := j.Compact(func() []byte { return []byte(`{"snap":1}`) }); err == nil {
+		t.Fatal("compaction acknowledged a failed snapshot write")
+	}
+	if j.Err() != nil {
+		t.Fatalf("failed compaction poisoned the append path: %v", j.Err())
+	}
+	if err := j.Append([]byte("after-failed-compact")); err != nil {
+		t.Fatalf("append after failed compaction: %v", err)
+	}
+	acked["after-failed-compact"] = true
+
+	// A torn snapshot must never be replayed: everything is still in
+	// the segments.
+	assertContains(t, replayAll(t, dir, opts), acked)
+
+	// Heal and compact for real: the snapshot now covers the history.
+	ffs.Clear()
+	if err := j.Compact(func() []byte { return []byte(`{"snap":2}`) }); err != nil {
+		t.Fatalf("compaction after heal: %v", err)
+	}
+	if err := j.Append([]byte("after-good-compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journal.Replay(dir, opts)
+	if err != nil {
+		t.Fatalf("replay after compaction: %v", err)
+	}
+	if string(rep.Snapshot) != `{"snap":2}` {
+		t.Errorf("snapshot payload: %q", rep.Snapshot)
+	}
+	found := false
+	for _, r := range rep.Records {
+		if string(r) == "after-good-compact" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("post-compaction record lost")
+	}
+}

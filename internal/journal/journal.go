@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // Policy selects when appended records are fsynced.
@@ -69,6 +71,11 @@ type Options struct {
 	SegmentBytes   int64         // rotation threshold (default 4 MiB)
 	MaxRecordBytes int           // sanity bound on one record (default 16 MiB)
 
+	// FS is the filesystem seam (default: the real OS filesystem).
+	// Fault-injection tests substitute one that fails fsyncs or runs
+	// out of space; see internal/faultinject.
+	FS vfs.FS
+
 	// Logf receives recovery warnings (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -85,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = 16 << 20
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -126,9 +136,10 @@ func parseSeq(name, prefix, suffix string) (int64, bool) {
 type Journal struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu        sync.Mutex
-	f         *os.File
+	f         vfs.File
 	bw        *bufio.Writer
 	segSeq    int64 // sequence of the segment being appended to
 	segBytes  int64 // bytes written to the current segment
@@ -167,10 +178,10 @@ type Stats struct {
 // Replay first to read the existing state.
 func Open(dir string, opts Options) (*Journal, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := opts.FS.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -188,13 +199,14 @@ func Open(dir string, opts Options) (*Journal, error) {
 			next = seq + 1
 		}
 	}
-	f, err := os.OpenFile(filepath.Join(dir, segName(next)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := opts.FS.OpenFile(filepath.Join(dir, segName(next)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j := &Journal{
 		dir:       dir,
 		opts:      opts,
+		fs:        opts.FS,
 		f:         f,
 		bw:        bufio.NewWriterSize(f, 1<<16),
 		segSeq:    next,
@@ -344,6 +356,82 @@ func (j *Journal) Sync() error {
 	return j.syncThrough(seq)
 }
 
+// Err returns the journal's sticky I/O error: the first disk fault
+// (failed write, fsync, or rotation) that stopped appends. nil while
+// healthy. A non-nil Err means every Append fails until Reopen.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Reopen clears the sticky I/O error after the underlying disk fault
+// has been repaired: the current segment — whose tail may hold a torn
+// frame from the failed write — is trimmed back to its last whole
+// record and abandoned, and appending resumes in a brand-new segment.
+// Records acknowledged before the fault are durable per the fsync
+// policy; records whose Append returned the error were never
+// acknowledged and are the caller's to re-issue (the service
+// re-snapshots its full job table right after a Reopen for exactly this
+// reason). Reopen on a healthy journal is a no-op.
+func (j *Journal) Reopen() error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err == nil {
+		return nil
+	}
+	_ = j.f.Close() // best effort; the fault may have wedged the handle
+	j.trimTornTailLocked()
+	f, err := j.fs.OpenFile(filepath.Join(j.dir, segName(j.segSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen: %w", err)
+	}
+	j.segSeq++
+	j.f = f
+	j.bw = bufio.NewWriterSize(f, 1<<16)
+	j.segBytes = 0
+	j.dirty = false
+	j.synced = j.appended
+	j.err = nil
+	j.opts.Logf("journal: reopened after disk fault; appending to %s", segName(j.segSeq))
+	return nil
+}
+
+// trimTornTailLocked truncates the abandoned segment back to its last
+// whole frame, so a crash before the post-reopen compaction does not
+// present a mid-log tear to Replay (which refuses damage anywhere but
+// the journal's final segment). Best effort: a still-faulty disk just
+// leaves the tear for the compaction to cover. Caller holds mu.
+func (j *Journal) trimTornTailLocked() {
+	path := filepath.Join(j.dir, segName(j.segSeq))
+	data, err := j.fs.ReadFile(path)
+	if err != nil {
+		return
+	}
+	off := 0
+	for off+frameHeader <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > j.opts.MaxRecordBytes || off+frameHeader+n > len(data) {
+			break
+		}
+		if crc32.Checksum(data[off+frameHeader:off+frameHeader+n], castagnoli) != crc {
+			break
+		}
+		off += frameHeader + n
+	}
+	if off < len(data) {
+		if err := j.fs.Truncate(path, int64(off)); err == nil {
+			j.opts.Logf("journal: trimmed torn tail of %s at offset %d after disk fault", segName(j.segSeq), off)
+		}
+	}
+}
+
 // rotateLocked seals the current segment (flush, fsync unless
 // SyncNever, close) and opens the next one. Caller holds mu.
 func (j *Journal) rotateLocked() error {
@@ -361,7 +449,7 @@ func (j *Journal) rotateLocked() error {
 	if err := j.f.Close(); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.segSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := j.fs.OpenFile(filepath.Join(j.dir, segName(j.segSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -397,22 +485,22 @@ func (j *Journal) Compact(build func() []byte) error {
 	j.mu.Unlock()
 
 	snap := build()
-	if err := writeSnapshot(j.dir, cover, snap); err != nil {
+	if err := writeSnapshot(j.fs, j.dir, cover, snap); err != nil {
 		return err
 	}
 
 	// Best-effort cleanup: a crash here leaves stale files that the
 	// next Replay ignores and the next Compact removes.
-	entries, err := os.ReadDir(j.dir)
+	entries, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return nil
 	}
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < cover {
-			os.Remove(filepath.Join(j.dir, e.Name()))
+			j.fs.Remove(filepath.Join(j.dir, e.Name()))
 		}
 		if seq, ok := parseSeq(e.Name(), "snap-", ".db"); ok && seq < cover {
-			os.Remove(filepath.Join(j.dir, e.Name()))
+			j.fs.Remove(filepath.Join(j.dir, e.Name()))
 		}
 	}
 	j.mu.Lock()
@@ -423,9 +511,9 @@ func (j *Journal) Compact(build func() []byte) error {
 
 // writeSnapshot frames payload into a temp file, fsyncs it, and
 // renames it into place, so a snapshot file is either absent or whole.
-func writeSnapshot(dir string, seq int64, payload []byte) error {
+func writeSnapshot(fsys vfs.FS, dir string, seq int64, payload []byte) error {
 	tmp := filepath.Join(dir, "snap.tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
@@ -443,20 +531,20 @@ func writeSnapshot(dir string, seq int64, payload []byte) error {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("journal: snapshot: %w", werr)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapName(seq))); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, snapName(seq))); err != nil {
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
-	syncDir(dir)
+	syncDir(fsys, dir)
 	return nil
 }
 
 // syncDir fsyncs the directory so renames and creates are durable.
 // Best effort: some filesystems refuse directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func syncDir(fsys vfs.FS, dir string) {
+	if d, err := fsys.Open(dir); err == nil {
 		d.Sync()
 		d.Close()
 	}
@@ -528,7 +616,7 @@ type Replayed struct {
 // the damage would replay out of context.
 func Replay(dir string, opts Options) (*Replayed, error) {
 	opts = opts.withDefaults()
-	entries, err := os.ReadDir(dir)
+	entries, err := opts.FS.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return &Replayed{}, nil
 	}
@@ -550,7 +638,7 @@ func Replay(dir string, opts Options) (*Replayed, error) {
 
 	rep := &Replayed{}
 	if snapSeq >= 0 {
-		payload, err := readSnapshot(filepath.Join(dir, snapName(snapSeq)))
+		payload, err := readSnapshot(opts.FS, filepath.Join(dir, snapName(snapSeq)))
 		if err != nil {
 			return nil, err
 		}
@@ -574,7 +662,7 @@ func Replay(dir string, opts Options) (*Replayed, error) {
 
 	for i, seq := range segs {
 		path := filepath.Join(dir, segName(seq))
-		recs, tornAt, err := readSegment(path, i == len(segs)-1, opts.MaxRecordBytes)
+		recs, tornAt, err := readSegment(opts.FS, path, i == len(segs)-1, opts.MaxRecordBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -582,7 +670,7 @@ func Replay(dir string, opts Options) (*Replayed, error) {
 		if tornAt >= 0 {
 			opts.Logf("journal: truncating torn final record in %s at offset %d (crash mid-append); %d records recovered",
 				segName(seq), tornAt, len(recs))
-			if err := os.Truncate(path, tornAt); err != nil {
+			if err := opts.FS.Truncate(path, tornAt); err != nil {
 				return nil, fmt.Errorf("journal: truncating %s: %w", segName(seq), err)
 			}
 			rep.Torn = true
@@ -592,8 +680,8 @@ func Replay(dir string, opts Options) (*Replayed, error) {
 }
 
 // readSnapshot reads and validates the single framed snapshot record.
-func readSnapshot(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+func readSnapshot(fsys vfs.FS, path string) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -617,8 +705,8 @@ func readSnapshot(path string) ([]byte, error) {
 // the final record) is a torn append: readSegment returns the records
 // before it and the offset to truncate at. The same damage anywhere
 // else is a hard error.
-func readSegment(path string, last bool, maxRec int) (recs [][]byte, tornAt int64, err error) {
-	data, err := os.ReadFile(path)
+func readSegment(fsys vfs.FS, path string, last bool, maxRec int) (recs [][]byte, tornAt int64, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, -1, fmt.Errorf("journal: %w", err)
 	}

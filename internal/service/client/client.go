@@ -39,6 +39,23 @@ func (e *BusyError) Error() string {
 // Is makes errors.Is(err, ErrBusy) true for BusyError values.
 func (e *BusyError) Is(target error) bool { return target == ErrBusy }
 
+// HTTPError is a non-2xx answer other than 429 (which is BusyError),
+// carrying the status code so callers can tell a retryable 503 from an
+// authoritative 400/404/409. The cluster client fails over on 503/504;
+// specload classifies errors with it.
+type HTTPError struct {
+	StatusCode int
+	Status     string // e.g. "503 Service Unavailable"
+	Message    string // server-provided error body, if any
+}
+
+func (e *HTTPError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("client: %s: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("client: %s", e.Status)
+}
+
 // Client talks to one specd instance.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
@@ -47,9 +64,10 @@ type Client struct {
 	HTTPClient *http.Client
 	// Observe, when set, receives one callback per completed HTTP
 	// request: the method, the request path, the response status (0 on a
-	// transport error), and the elapsed wall time. specload's per-target
-	// latency histograms hang off this hook.
-	Observe func(method, path string, status int, elapsed time.Duration)
+	// transport error), the transport error itself (nil on an HTTP
+	// answer), and the elapsed wall time. specload's per-target latency
+	// histograms and error-class breakdown hang off this hook.
+	Observe func(method, path string, status int, err error, elapsed time.Duration)
 }
 
 // New returns a client for the given base URL.
@@ -69,7 +87,7 @@ func (c *Client) roundTrip(req *http.Request) (*http.Response, error) {
 		if err == nil {
 			status = resp.StatusCode
 		}
-		c.Observe(req.Method, req.URL.Path, status, time.Since(start))
+		c.Observe(req.Method, req.URL.Path, status, err, time.Since(start))
 	}
 	return resp, err
 }
@@ -92,13 +110,14 @@ func (c *Client) do(req *http.Request, out any) (int, error) {
 		return resp.StatusCode, be
 	}
 	if resp.StatusCode >= 400 {
+		he := &HTTPError{StatusCode: resp.StatusCode, Status: resp.Status}
 		var eb struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-			return resp.StatusCode, fmt.Errorf("client: %s: %s", resp.Status, eb.Error)
+			he.Message = eb.Error
 		}
-		return resp.StatusCode, fmt.Errorf("client: %s", resp.Status)
+		return resp.StatusCode, he
 	}
 	if out != nil {
 		if err := json.Unmarshal(body, out); err != nil {

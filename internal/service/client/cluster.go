@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/url"
 	"sync"
 	"time"
@@ -13,11 +14,13 @@ import (
 
 // Cluster is a cluster-aware client: it addresses a list of specd front
 // doors (normally routers, but standalone nodes work too), sends each
-// request to its current target, and fails over to the next target on a
-// transport error. HTTP-level errors (400, 404, 429, ...) are answers,
-// not outages, and are returned without failing over; a connection
-// refusal or timeout rotates to the next target and sticks there, so
-// pollers ride through a dead or restarting front door.
+// request to its current target, and fails over to the next target when
+// the answer suggests another front door could do better: transport
+// errors, client-side timeouts, and 503/504 answers (draining, journal-
+// degraded, or relaying a dead owner) all rotate. Authoritative HTTP
+// answers (400, 404, 409, 429) are returned without failing over; a
+// rotation sticks, so pollers ride through a dead or restarting front
+// door.
 type Cluster struct {
 	clients []*Client
 
@@ -59,21 +62,32 @@ func (cc *Cluster) LastTarget() string {
 	return cc.last
 }
 
-// transportErr reports whether err is a connection-level failure worth
-// failing over for, rather than an HTTP answer or a caller cancel.
-func transportErr(err error) bool {
-	if err == nil {
+// failoverErr reports whether err warrants rotating to the next target:
+// a connection-level failure, a request that timed out (the per-client
+// HTTP timeout or a propagated deadline), or a 503/504 answer — the
+// target is draining, journal-degraded, or fronting a dead owner, and a
+// different front door may still serve. Other HTTP answers are
+// authoritative and never rotate; nor does the caller's own cancel.
+func failoverErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
 		return false
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.StatusCode == http.StatusServiceUnavailable ||
+			he.StatusCode == http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
 	}
 	var ue *url.Error
 	return errors.As(err, &ue)
 }
 
 // each runs f against targets starting at the current one, rotating on
-// transport errors until a target answers or every target has failed.
+// failover-worthy errors until a target answers or every target has
+// failed. The caller's ctx expiring stops the rotation: at that point
+// no target can answer in time.
 func (cc *Cluster) each(ctx context.Context, f func(c *Client) error) error {
 	cc.mu.Lock()
 	start := cc.cur
@@ -84,7 +98,7 @@ func (cc *Cluster) each(ctx context.Context, f func(c *Client) error) error {
 		idx := (start + i) % n
 		c := cc.clients[idx]
 		err = f(c)
-		if transportErr(err) && ctx.Err() == nil {
+		if failoverErr(err) && ctx.Err() == nil {
 			continue
 		}
 		cc.mu.Lock()

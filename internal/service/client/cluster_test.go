@@ -76,6 +76,69 @@ func TestClusterDoesNotFailOverOnHTTPErrors(t *testing.T) {
 	}
 }
 
+// A 503 (draining or journal-degraded front door) must rotate to the
+// next target — unlike authoritative answers such as 404.
+func TestClusterFailsOverOn503(t *testing.T) {
+	var aHits int
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aHits++
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"service: journal degraded, refusing new work"}`, http.StatusServiceUnavailable)
+	}))
+	defer a.Close()
+	svc := service.New(service.Config{Workers: 1, QueueCap: 8, DefaultParallel: 1})
+	defer svc.Shutdown(context.Background())
+	b := httptest.NewServer(svc.Handler())
+	defer b.Close()
+
+	cc := NewCluster(a.URL, b.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cc.Submit(ctx, service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 150, Seed: 1, Parallel: 1})
+	if err != nil {
+		t.Fatalf("Submit should fail over past the 503: %v", err)
+	}
+	if aHits != 1 {
+		t.Fatalf("degraded target hit %d times, want 1", aHits)
+	}
+	if got := cc.LastTarget(); got != b.URL {
+		t.Fatalf("LastTarget = %q, want the healthy target %q", got, b.URL)
+	}
+	if st.ID == "" {
+		t.Fatal("healthy target should have accepted the job")
+	}
+}
+
+// A target that times out (client-side deadline) must rotate too, as
+// long as the caller's own context is still live.
+func TestClusterFailsOverOnTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	defer close(stall) // before slow.Close, so the stalled handler can return
+	svc := service.New(service.Config{Workers: 1, QueueCap: 8, DefaultParallel: 1})
+	defer svc.Shutdown(context.Background())
+	live := httptest.NewServer(svc.Handler())
+	defer live.Close()
+
+	slowClient := New(slow.URL)
+	slowClient.HTTPClient = &http.Client{Timeout: 100 * time.Millisecond}
+	cc := NewClusterFrom(slowClient, New(live.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if h, err := cc.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("Health should fail over past the stalled target: %+v, %v", h, err)
+	}
+	if got := cc.LastTarget(); got != live.URL {
+		t.Fatalf("LastTarget = %q, want the live target %q", got, live.URL)
+	}
+}
+
 func TestClusterAllTargetsDown(t *testing.T) {
 	a := httptest.NewServer(http.NotFoundHandler())
 	aURL := a.URL

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -45,11 +46,40 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/handoff", s.handleHandoff)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return withDeadline(mux)
 }
 
 // JobIDHeader carries a router-assigned job id on POST /v1/jobs.
 const JobIDHeader = "X-Specd-Job-Id"
+
+// DeadlineHeader propagates a caller deadline across process hops as
+// absolute unix-milliseconds. The router stamps it from its request
+// context; the node refuses work whose deadline has already passed and
+// bounds the rest, so a retry storm cannot pile work behind a caller
+// that has long since given up.
+const DeadlineHeader = "X-Specd-Deadline"
+
+// withDeadline honors DeadlineHeader on every request: an expired
+// deadline answers 504 without doing the work, a live one bounds the
+// request context.
+func withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(DeadlineHeader); v != "" {
+			if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+				dl := time.UnixMilli(ms)
+				if !time.Now().Before(dl) {
+					writeJSON(w, http.StatusGatewayTimeout,
+						errorBody{Error: "deadline exceeded before processing"})
+					return
+				}
+				ctx, cancel := context.WithDeadline(r.Context(), dl)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
 
 // maxSpecBytes bounds POST bodies; specs are a few hundred bytes.
 const maxSpecBytes = 1 << 16
@@ -100,6 +130,9 @@ func (s *Service) writeSubmitResult(w http.ResponseWriter, st JobStatus, err err
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.As(err, &specErr):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
@@ -190,6 +223,16 @@ type Health struct {
 	RecoveredJobs int64   `json:"recovered_jobs,omitempty"`
 	HandoffJobs   int64   `json:"handoff_jobs,omitempty"`
 
+	// Degraded mode: the journal hit a disk fault and the service is
+	// read-only (in-flight jobs finish, new submits 503) until the disk
+	// heals. Still 200 on /healthz — a degraded node serves reads.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	// Router-only: members whose lease expired but who still answer
+	// probes (e.g. under an asymmetric partition).
+	SuspectMembers []string `json:"suspect_members,omitempty"`
+
 	// Cluster identity: the node's id, its role ("standalone", "node",
 	// or "router"), and — when the node holds a membership lease — the
 	// lease deadline it last renewed to.
@@ -217,6 +260,11 @@ func (s *Service) HealthStatus() Health {
 		NodeID:        nodeID,
 		Role:          role,
 		LeaseExpires:  lease,
+	}
+	if deg, reason := s.DegradedInfo(); deg {
+		body.Status = "degraded"
+		body.Degraded = true
+		body.DegradedReason = reason
 	}
 	if s.Draining() {
 		body.Status = "draining"

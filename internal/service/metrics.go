@@ -102,6 +102,15 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(&b, "specd_journal_records_total %d\n", jst.Records)
 	header("specd_journal_fsyncs_total", "Fsync batches issued by the journal (group commit).", "counter")
 	fmt.Fprintf(&b, "specd_journal_fsyncs_total %d\n", jst.Fsyncs)
+	deg, _ := s.DegradedInfo()
+	header("specd_degraded", "1 while the journal is faulted and submits are refused.", "gauge")
+	degVal := 0
+	if deg {
+		degVal = 1
+	}
+	fmt.Fprintf(&b, "specd_degraded %d\n", degVal)
+	header("specd_degraded_seconds_total", "Total seconds spent in journal-degraded read-only mode.", "counter")
+	fmt.Fprintf(&b, "specd_degraded_seconds_total %s\n", formatFloat(s.DegradedSeconds()))
 	header("specd_recovered_jobs_total", "Jobs restarted from spec by crash recovery at startup.", "counter")
 	fmt.Fprintf(&b, "specd_recovered_jobs_total %d\n", s.Recovered())
 	header("specd_handoff_jobs_total", "Jobs accepted from dead cluster members via handoff.", "counter")

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -102,6 +103,12 @@ func (s *Service) appendRecord(rec walRecord) error {
 	}
 	if err := s.jnl.Append(b); err != nil {
 		s.cfg.Logf("specd: journal: appending %s record for %s: %v", rec.Type, rec.ID, err)
+		if !errors.Is(err, journal.ErrClosed) {
+			// A real disk fault (fsync error, ENOSPC, torn rotation):
+			// flip into read-only degraded mode. ErrClosed is just
+			// shutdown ordering, not a fault.
+			s.enterDegraded(err)
+		}
 		return err
 	}
 	if s.jnl.LiveBytes() >= s.cfg.CompactBytes {
@@ -111,17 +118,20 @@ func (s *Service) appendRecord(rec walRecord) error {
 }
 
 // journalSubmitted records admission. Called after the job is queued;
-// the fsync policy decides when it becomes durable.
-func (s *Service) journalSubmitted(j *job) {
+// the fsync policy decides when it becomes durable. The error matters
+// here, unlike the later lifecycle records: an admission the journal
+// could not persist must be refused, or a crash would silently lose an
+// acknowledged job.
+func (s *Service) journalSubmitted(j *job) error {
 	if s.jnl == nil {
-		return
+		return nil
 	}
 	j.mu.Lock()
 	rec := walRecord{Type: recSubmitted, ID: j.status.ID, At: j.status.SubmittedAt}
 	spec := j.status.Spec
 	rec.Spec = &spec
 	j.mu.Unlock()
-	s.appendRecord(rec)
+	return s.appendRecord(rec)
 }
 
 func (s *Service) journalStarted(id string, attempt int, at time.Time) {
@@ -198,10 +208,13 @@ func (s *Service) journalFinish(j *job, points []RoundPoint) {
 
 // compact serializes the job table into a snapshot and lets the
 // journal drop the segments it covers. Concurrent triggers collapse
-// into one pass.
-func (s *Service) compact() {
+// into one pass. The returned error feeds degraded-mode recovery: a
+// post-heal compaction must succeed before the service trusts the disk
+// again, because it re-persists any state appended-then-lost while the
+// journal was failing.
+func (s *Service) compact() error {
 	if s.jnl == nil || !s.compacting.CompareAndSwap(false, true) {
-		return
+		return nil
 	}
 	defer s.compacting.Store(false)
 	err := s.jnl.Compact(func() []byte {
@@ -225,7 +238,9 @@ func (s *Service) compact() {
 	})
 	if err != nil && err != journal.ErrClosed {
 		s.cfg.Logf("specd: journal: compaction failed: %v", err)
+		return err
 	}
+	return nil
 }
 
 // jobNum parses the numeric part of a "j<N>" job id (0 if foreign).

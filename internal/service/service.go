@@ -31,6 +31,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/journal"
 	"repro/internal/speculation"
+	"repro/internal/vfs"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,11 @@ var (
 	// already exists; the caller gets the existing status alongside it,
 	// making redelivery idempotent (HTTP 200).
 	ErrDupJob = errors.New("service: job id already exists")
+	// ErrDegraded signals the journal hit a disk fault (fsync error,
+	// ENOSPC) and the service is in read-only degraded mode: in-flight
+	// jobs finish, reads serve, but new work is refused until the disk
+	// heals and the recovery loop re-opens the journal (HTTP 503).
+	ErrDegraded = errors.New("service: journal degraded, refusing new work")
 )
 
 // SpecError marks an invalid job specification (HTTP 400).
@@ -374,6 +380,14 @@ type Config struct {
 	// CompactBytes triggers snapshot compaction once live journal
 	// segments exceed this size (default 4 MiB).
 	CompactBytes int64
+	// FS is the filesystem the journal writes through (default: the real
+	// one). Fault-injection tests substitute a faultinject.FaultFS to
+	// drive the degraded-mode path.
+	FS vfs.FS
+	// DegradedRetryInterval is how often the recovery loop re-tries the
+	// journal after a disk fault flipped the service into degraded mode
+	// (default 1s).
+	DegradedRetryInterval time.Duration
 
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
@@ -412,6 +426,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactBytes <= 0 {
 		c.CompactBytes = 4 << 20
+	}
+	if c.DegradedRetryInterval <= 0 {
+		c.DegradedRetryInterval = time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -454,6 +471,18 @@ type Service struct {
 	recovered  atomic.Int64     // jobs restarted from spec after a crash
 	compacting atomic.Bool
 	closeOnce  sync.Once
+
+	// Degraded mode: a journal disk fault flips the service read-only.
+	// In-flight jobs finish (their records are lost until the post-heal
+	// compaction re-persists them), reads keep serving, new submits are
+	// refused with ErrDegraded, and the recovery goroutine periodically
+	// re-opens the journal until the disk heals.
+	degMu          sync.Mutex
+	degraded       bool
+	degradedReason string
+	degradedSince  time.Time
+	degradedAccum  time.Duration // time spent degraded across past episodes
+	recovering     bool          // recovery goroutine is running
 }
 
 // New starts an in-memory service with cfg.Workers runner goroutines.
@@ -485,6 +514,7 @@ func Open(cfg Config) (*Service, error) {
 			Fsync:    cfg.Fsync,
 			Interval: cfg.FsyncInterval,
 			Logf:     cfg.Logf,
+			FS:       cfg.FS,
 		}
 		rep, err := journal.Replay(cfg.StateDir, opts)
 		if err != nil {
@@ -687,6 +717,9 @@ func (s *Service) submit(id string, spec JobSpec, attempt int, prefix []RoundPoi
 	if s.draining.Load() {
 		return JobStatus{}, ErrDraining
 	}
+	if deg, _ := s.DegradedInfo(); deg {
+		return JobStatus{}, ErrDegraded
+	}
 	spec, err := s.normalize(spec)
 	if err != nil {
 		return JobStatus{}, err
@@ -734,7 +767,39 @@ func (s *Service) submit(id string, spec JobSpec, attempt int, prefix []RoundPoi
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.submitted.Add(1)
-	s.journalSubmitted(j)
+	if err := s.journalSubmitted(j); err != nil && !errors.Is(err, journal.ErrClosed) {
+		// The disk went bad under this very admission: refuse it rather
+		// than acknowledge a job the journal cannot make durable. The
+		// job may already be visible to a worker, so cancel in place
+		// when it has not started (runJob skips canceled queued jobs)
+		// and withdraw it from the table; in the rare race where a
+		// worker already claimed it, ask it to stop at the next barrier.
+		j.mu.Lock()
+		undone := j.status.State == StateQueued || j.status.State == StateRecovered
+		if undone {
+			j.status.State = StateCanceled
+			j.status.Reason = "journal degraded"
+			j.status.Error = "admission refused: journal degraded"
+			now := time.Now()
+			j.status.FinishedAt = &now
+		}
+		j.mu.Unlock()
+		if undone {
+			s.mu.Lock()
+			delete(s.jobs, id)
+			for i := len(s.order) - 1; i >= 0; i-- {
+				if s.order[i] == id {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+		} else {
+			j.requestCancel("journal degraded")
+		}
+		s.submitted.Add(-1)
+		return JobStatus{}, ErrDegraded
+	}
 	if recovered {
 		s.handedOff.Add(1)
 		s.journalHandoff(j, prefix)
@@ -840,6 +905,80 @@ func (s *Service) Recovered() int64 { return s.recovered.Load() }
 // HandedOff returns the number of jobs this node accepted via cluster
 // handoff (SubmitHandoff).
 func (s *Service) HandedOff() int64 { return s.handedOff.Load() }
+
+// DegradedInfo reports whether the service is in read-only degraded
+// mode (journal disk fault) and the fault that caused it.
+func (s *Service) DegradedInfo() (degraded bool, reason string) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	return s.degraded, s.degradedReason
+}
+
+// DegradedSeconds returns the total time spent in degraded mode,
+// including the current episode.
+func (s *Service) DegradedSeconds() float64 {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	d := s.degradedAccum
+	if s.degraded {
+		d += time.Since(s.degradedSince)
+	}
+	return d.Seconds()
+}
+
+// enterDegraded flips the service into read-only degraded mode and
+// starts the recovery goroutine. In-flight jobs keep running — a dead
+// disk degrades durability, it does not take running work down — but
+// nothing new is admitted, because an admission the journal cannot
+// record would be an acknowledgment the service might not honor after
+// a restart.
+func (s *Service) enterDegraded(cause error) {
+	s.degMu.Lock()
+	if s.degraded {
+		s.degMu.Unlock()
+		return
+	}
+	s.degraded = true
+	s.degradedReason = cause.Error()
+	s.degradedSince = time.Now()
+	spawn := !s.recovering
+	s.recovering = true
+	s.degMu.Unlock()
+	s.cfg.Logf("specd: journal fault, entering degraded mode (reads serve, submits 503): %v", cause)
+	if spawn {
+		go s.degradedRecoveryLoop()
+	}
+}
+
+// degradedRecoveryLoop retries the journal until the disk heals. A
+// successful Reopen plus a full compaction — which re-persists every
+// job whose records the broken disk may have dropped, closing the
+// acknowledged-then-lost window — ends the episode.
+func (s *Service) degradedRecoveryLoop() {
+	tick := time.NewTicker(s.cfg.DegradedRetryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if err := s.jnl.Reopen(); err != nil {
+				continue
+			}
+			if err := s.compact(); err != nil {
+				continue
+			}
+			s.degMu.Lock()
+			s.degradedAccum += time.Since(s.degradedSince)
+			s.degraded = false
+			s.degradedReason = ""
+			s.recovering = false
+			s.degMu.Unlock()
+			s.cfg.Logf("specd: journal healed, leaving degraded mode")
+			return
+		}
+	}
+}
 
 // SetClusterIdentity labels /healthz with this node's cluster identity:
 // its node id, its role ("node", "router", or the default

@@ -1,0 +1,62 @@
+// Package vfs is the filesystem seam under the durability layer: the
+// minimal set of operations the write-ahead journal performs, as an
+// interface, so fault-injection tests can make fsync fail or the disk
+// fill up without touching the real filesystem.
+//
+// The package deliberately lives below both internal/journal (which
+// consumes the seam) and internal/faultinject (which wraps it with
+// programmable faults), so neither needs to import the other.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the journal writes through.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// FS abstracts the filesystem operations the journal performs. The OS
+// implementation is the zero-cost default; fault injectors wrap one.
+type FS interface {
+	// OpenFile opens name with the given flag and permissions.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only (the journal uses it to fsync
+	// directories after renames).
+	Open(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the directory entries of name.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates name and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Truncate resizes name to size bytes.
+	Truncate(name string, size int64) error
+}
+
+// OS is the passthrough FS backed by package os.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Open(name string) (File, error)             { return os.Open(name) }
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
