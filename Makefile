@@ -9,7 +9,7 @@ BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: check vet build test race equiv chaos crash cluster partition bench bench-sim
+.PHONY: check vet build test race equiv chaos crash cluster partition overload bench bench-sim
 
 check: vet build test race equiv
 
@@ -79,6 +79,17 @@ cluster:
 partition:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'SpecdPartition' .
+
+# overload runs the multi-tenant admission e2e under the race
+# detector: three tenants with skewed weights flood one node — the
+# well-behaved tenant's first submit must never see a global-queue 429,
+# weighted-fair completion ratios must hold (weight 3 sustains >= 2.5x
+# weight 1), the scavenger tenant must still trickle, healthz must
+# answer 200 throughout, and a priority-9 arrival must preempt a
+# running low-priority job at its next barrier.
+overload:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'SpecdOverload' .
 
 bench:
 	$(GO) test ./internal/speculation/ -run NONE -bench BenchmarkExecutorRound -benchtime 2s

@@ -93,6 +93,9 @@ func main() {
 	asyncDefault := flag.Bool("async", false, "run jobs barrier-free by default where the workload supports it (jobs may still set \"mode\" explicitly)")
 	coloredDefault := flag.Bool("colored", false, "run jobs in hybrid speculative→colored mode by default where the workload supports it (jobs may still set \"mode\" explicitly)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	tenantsFile := flag.String("tenants", "", "per-tenant admission config file (JSON: {defaults, tenants:[{name,weight,rate,burst,max_pending,priority}]})")
+	brownoutP99 := flag.Duration("brownout-p99", 0, "queue-wait p99 threshold that triggers brownout shedding (0 = off)")
+	brownoutWindows := flag.Int("brownout-windows", 3, "consecutive bad windows before the brownout shed level escalates")
 
 	// Cluster flags.
 	join := flag.String("join", "", "router base URL to join as a cluster node (node mode)")
@@ -161,6 +164,13 @@ func main() {
 	if *coloredDefault {
 		defaultMode = service.ModeColored
 	}
+	var tenantCfg service.TenantsFile
+	if *tenantsFile != "" {
+		if tenantCfg, err = service.LoadTenants(*tenantsFile); err != nil {
+			logger.Fatalf("specd: %v", err)
+		}
+		logger.Printf("specd: loaded %d tenant overrides from %s", len(tenantCfg.Tenants), *tenantsFile)
+	}
 	svc, err := service.Open(service.Config{
 		QueueCap:           *queueCap,
 		Workers:            *workers,
@@ -173,6 +183,10 @@ func main() {
 		CheckpointEvery:    *checkpointRounds,
 		CheckpointCommits:  *checkpointCommits,
 		DefaultMode:        defaultMode,
+		Tenants:            tenantCfg.Tenants,
+		TenantDefaults:     tenantCfg.Defaults,
+		BrownoutP99:        *brownoutP99,
+		BrownoutWindows:    *brownoutWindows,
 		Logf:               logger.Printf,
 	})
 	if err != nil {
@@ -225,6 +239,7 @@ func main() {
 					QueueDepth: svc.QueueDepth(),
 					Running:    svc.Running(),
 					Degraded:   degraded,
+					Brownout:   svc.BrownedOut(),
 				}
 			},
 			Logf: logger.Printf,

@@ -163,7 +163,40 @@ func main() {
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff between resubmits (doubles, jittered)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the client-side chaos transport (with -chaos-plan)")
 	chaosPlan := flag.String("chaos-plan", "", `client-side fault plan, e.g. "specload>*:lat=10ms..50ms,err=0.05" (src is "specload")`)
+	tenant := flag.String("tenant", "", "tenant to submit every job under (empty = server default)")
+	priority := flag.Int("priority", 0, "job priority 1..9 (0 = tenant default)")
+	mix := flag.String("mix", "", `weighted tenant mix, e.g. "gold:3,free:1" — job i cycles through the weighted slots (overrides -tenant)`)
 	flag.Parse()
+
+	// A "-mix a:3,b:1" expands into weighted slots [a a a b]; job i
+	// submits under slots[i%len], so the submitted mix follows the
+	// weights without randomness.
+	var slots []string
+	if *mix != "" {
+		for _, part := range strings.Split(*mix, ",") {
+			name, wstr, found := strings.Cut(strings.TrimSpace(part), ":")
+			w := 1
+			if found {
+				if _, err := fmt.Sscanf(wstr, "%d", &w); err != nil || w < 1 {
+					fmt.Fprintf(os.Stderr, "specload: bad -mix entry %q (want name:weight)\n", part)
+					os.Exit(2)
+				}
+			}
+			if name == "" {
+				fmt.Fprintf(os.Stderr, "specload: bad -mix entry %q (empty tenant)\n", part)
+				os.Exit(2)
+			}
+			for k := 0; k < w; k++ {
+				slots = append(slots, name)
+			}
+		}
+	}
+	tenantFor := func(i int) string {
+		if len(slots) > 0 {
+			return slots[i%len(slots)]
+		}
+		return *tenant
+	}
 
 	var chaosLinks map[string]faultinject.LinkFault
 	if *chaosPlan != "" {
@@ -217,6 +250,7 @@ func main() {
 
 	type outcome struct {
 		id       string
+		tenant   string
 		rejected bool
 		retries  int
 		err      error
@@ -228,6 +262,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			tn := tenantFor(i)
 			st, stats, err := c.SubmitRetry(ctx, service.JobSpec{
 				Workload:   *wl,
 				Controller: *ctrl,
@@ -236,6 +271,8 @@ func main() {
 				Size:       *size,
 				Seed:       *seed + uint64(i),
 				Parallel:   *parallel,
+				Tenant:     tn,
+				Priority:   *priority,
 			}, client.Backoff{
 				MaxRetries: *retries,
 				Base:       *backoff,
@@ -243,11 +280,11 @@ func main() {
 			})
 			switch {
 			case errors.Is(err, client.ErrBusy):
-				results[i] = outcome{rejected: true, retries: stats.Retries}
+				results[i] = outcome{tenant: tn, rejected: true, retries: stats.Retries}
 			case err != nil:
-				results[i] = outcome{err: err, retries: stats.Retries}
+				results[i] = outcome{tenant: tn, err: err, retries: stats.Retries}
 			default:
-				results[i] = outcome{id: st.ID, retries: stats.Retries}
+				results[i] = outcome{id: st.ID, tenant: tn, retries: stats.Retries}
 			}
 		}(i)
 	}
@@ -255,6 +292,19 @@ func main() {
 
 	accepted, rejected, retried, failed := 0, 0, 0, 0
 	var totalCommits, totalAborts int64
+	type tenantTally struct{ accepted, rejected, completed int }
+	byTenant := make(map[string]*tenantTally)
+	tally := func(tn string) *tenantTally {
+		if tn == "" {
+			tn = service.DefaultTenant
+		}
+		if t, ok := byTenant[tn]; ok {
+			return t
+		}
+		t := &tenantTally{}
+		byTenant[tn] = t
+		return t
+	}
 	for _, r := range results {
 		retried += r.retries
 		switch {
@@ -264,9 +314,11 @@ func main() {
 			continue
 		case r.rejected:
 			rejected++
+			tally(r.tenant).rejected++
 			continue
 		}
 		accepted++
+		tally(r.tenant).accepted++
 		st, err := c.Wait(ctx, r.id, *poll)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "specload: waiting for %s: %v\n", r.id, err)
@@ -282,6 +334,7 @@ func main() {
 		}
 		if st.State == service.StateDone {
 			fmt.Printf("%s %s\n", line, st.Result)
+			tally(r.tenant).completed++
 		} else {
 			fmt.Printf("%s %s\n", line, st.Error)
 			failed++
@@ -290,6 +343,18 @@ func main() {
 
 	fmt.Printf("specload: %d submitted, %d accepted, %d rejected (429), %d retried, %d failed in %.2fs; commits=%d aborts=%d\n",
 		*jobs, accepted, rejected, retried, failed, time.Since(start).Seconds(), totalCommits, totalAborts)
+	if len(byTenant) > 1 || *mix != "" {
+		names := make([]string, 0, len(byTenant))
+		for tn := range byTenant {
+			names = append(names, tn)
+		}
+		sort.Strings(names)
+		for _, tn := range names {
+			t := byTenant[tn]
+			fmt.Printf("specload: tenant %-12s accepted=%-5d completed=%-5d rejected=%d\n",
+				tn, t.accepted, t.completed, t.rejected)
+		}
+	}
 	for _, cl := range clients {
 		recorders[cl.BaseURL].summarize(cl.BaseURL)
 	}

@@ -62,6 +62,12 @@ type LoadInfo struct {
 	// placements and handoffs around a degraded node but keeps proxying
 	// reads to it.
 	Degraded bool `json:"degraded,omitempty"`
+	// Brownout reports that the node's admission layer is shedding its
+	// lowest priority classes under sustained overload. Unlike Degraded
+	// it still accepts work above the shed line, so the router only
+	// deprioritizes a browned-out node (sorts it behind healthy peers)
+	// rather than excluding it.
+	Brownout bool `json:"brownout,omitempty"`
 }
 
 // MemberInfo is one row of the membership table, as gossiped to nodes

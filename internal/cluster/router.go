@@ -389,6 +389,14 @@ func (r *Router) candidates(id string) []MemberInfo {
 			out = append(out, m)
 		}
 	}
+	// Browned-out nodes are shedding their lowest priority classes:
+	// still usable (unlike degraded ones, which were filtered above),
+	// but placed last so new work lands on healthy peers first. The
+	// stable sort preserves the ring/least-loaded order within each
+	// group.
+	sort.SliceStable(out, func(i, j int) bool {
+		return !out[i].Load.Brownout && out[j].Load.Brownout
+	})
 	return out
 }
 

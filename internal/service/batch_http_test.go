@@ -1,0 +1,162 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// TestBatchSubmitPartialSuccess: one POST /v1/jobs:batch call admits
+// each item independently — accepted jobs run, bad specs 400, and
+// over-quota items 429 with their class, all in one index-aligned
+// response.
+func TestBatchSubmitPartialSuccess(t *testing.T) {
+	_, c := startServer(t, service.Config{
+		Workers: 2, QueueCap: 16,
+		Tenants: []service.TenantConfig{{Name: "metered", Rate: 0.001, Burst: 1}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ok := service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 200, Parallel: 1}
+	bad := service.JobSpec{Workload: "nope"}
+	metered := ok
+	metered.Tenant = "metered"
+
+	items, err := c.SubmitBatch(ctx, []service.JobSpec{ok, bad, metered, metered})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("%d items, want 4", len(items))
+	}
+	if items[0].Err != nil || items[0].Status.ID == "" {
+		t.Fatalf("item 0: err=%v status=%+v, want accepted", items[0].Err, items[0].Status)
+	}
+	var he *client.HTTPError
+	if !errors.As(items[1].Err, &he) || he.StatusCode != http.StatusBadRequest {
+		t.Fatalf("item 1: %v, want a 400 HTTPError", items[1].Err)
+	}
+	if items[2].Err != nil {
+		t.Fatalf("item 2 (first metered): %v, want accepted (burst 1)", items[2].Err)
+	}
+	var be *client.BusyError
+	if !errors.As(items[3].Err, &be) || be.Class != service.RejectQuota {
+		t.Fatalf("item 3 (second metered): %v, want BusyError class %q", items[3].Err, service.RejectQuota)
+	}
+	if be.RetryAfter <= 0 {
+		t.Fatalf("item 3 RetryAfter %v, want a computed positive wait", be.RetryAfter)
+	}
+	if !errors.Is(items[3].Err, client.ErrBusy) {
+		t.Fatal("batch 429 item must match client.ErrBusy")
+	}
+
+	// The accepted jobs actually run.
+	for _, idx := range []int{0, 2} {
+		if _, err := c.Wait(ctx, items[idx].Status.ID, 5*time.Millisecond); err != nil {
+			t.Fatalf("item %d never finished: %v", idx, err)
+		}
+	}
+}
+
+// TestBatchSubmitRejectsMalformed: an empty batch and an oversized
+// batch both 400 as a whole.
+func TestBatchSubmitRejectsMalformed(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1, QueueCap: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := c.SubmitBatch(ctx, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	big := make([]service.JobSpec, 257)
+	for i := range big {
+		big[i] = service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 10, Parallel: 1}
+	}
+	if _, err := c.SubmitBatch(ctx, big); err == nil {
+		t.Fatal("257-item batch accepted (max is 256)")
+	}
+}
+
+// TestRetryAfterComputed asserts the 429 headers are dynamic: a
+// rate-limited tenant's rejection carries the bucket's actual refill
+// time (sub-second, shrinking as the bucket refills) instead of the
+// old constant Retry-After: 1.
+func TestRetryAfterComputed(t *testing.T) {
+	// Rate 0.5/s, burst 1: after one admission the bucket needs ~2s to
+	// refill, a window wide enough that slow CI cannot race it closed.
+	_, c := startServer(t, service.Config{
+		Workers: 1, QueueCap: 16,
+		Tenants: []service.TenantConfig{{Name: "metered", Rate: 0.5, Burst: 1}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	spec := service.JobSpec{Workload: "cc", Controller: "hybrid", Size: 200, Parallel: 1, Tenant: "metered"}
+	if _, err := c.Submit(ctx, spec); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+
+	// Raw request so the headers themselves are visible.
+	post := func() *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(service.RejectClassHeader); got != service.RejectQuota {
+		t.Fatalf("reject class header %q, want %q", got, service.RejectQuota)
+	}
+	ms, err := strconv.ParseInt(resp.Header.Get(service.RetryAfterMsHeader), 10, 64)
+	if err != nil {
+		t.Fatalf("missing/invalid %s header: %v", service.RetryAfterMsHeader, err)
+	}
+	// Rate 0.5/s means the bucket refills in ~2s — a computed hint must
+	// say so, where the pre-tenant behavior was a constant 1 second.
+	if ms <= 1000 || ms > 2100 {
+		t.Fatalf("retry-after %dms, want the computed ~2000ms for rate 0.5/s (not the old 1s constant)", ms)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("standard Retry-After header missing")
+	}
+
+	// A later rejection reflects the refilled bucket: the hint shrinks.
+	time.Sleep(300 * time.Millisecond)
+	resp2 := post()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit status %d, want 429", resp2.StatusCode)
+	}
+	ms2, err := strconv.ParseInt(resp2.Header.Get(service.RetryAfterMsHeader), 10, 64)
+	if err != nil {
+		t.Fatalf("third submit %s header: %v", service.RetryAfterMsHeader, err)
+	}
+	if ms2 >= ms {
+		t.Fatalf("retry-after did not shrink as the bucket refilled: %dms then %dms", ms, ms2)
+	}
+
+	// The client surfaces the same computed wait.
+	_, err = c.Submit(ctx, spec)
+	var be *client.BusyError
+	if !errors.As(err, &be) || be.RetryAfter <= 0 || be.RetryAfter > 2100*time.Millisecond {
+		t.Fatalf("client submit err %v, want BusyError with the computed bucket wait", err)
+	}
+}

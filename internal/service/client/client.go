@@ -25,12 +25,20 @@ var ErrBusy = errors.New("client: server busy (queue full)")
 // BusyError is the concrete 429 error carrying the server's Retry-After
 // hint. errors.Is(err, ErrBusy) matches it.
 type BusyError struct {
-	// RetryAfter is the server's suggested wait (zero if absent).
+	// RetryAfter is the server's suggested wait (zero if absent). The
+	// millisecond-resolution X-Specd-Retry-After-Ms header is preferred
+	// over the whole-second Retry-After when both are present.
 	RetryAfter time.Duration
+	// Class is the server's rejection class ("queue", "tenant", "quota",
+	// "shed", or "deadline"), empty when the server did not say.
+	Class string
 }
 
 func (e *BusyError) Error() string {
 	if e.RetryAfter > 0 {
+		if e.Class != "" {
+			return fmt.Sprintf("client: server busy (%s, retry after %v)", e.Class, e.RetryAfter)
+		}
 		return fmt.Sprintf("client: server busy (retry after %v)", e.RetryAfter)
 	}
 	return ErrBusy.Error()
@@ -103,8 +111,10 @@ func (c *Client) do(req *http.Request, out any) (int, error) {
 		return resp.StatusCode, err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
-		be := &BusyError{}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		be := &BusyError{Class: resp.Header.Get(service.RejectClassHeader)}
+		if ms, err := strconv.ParseInt(resp.Header.Get(service.RetryAfterMsHeader), 10, 64); err == nil && ms > 0 {
+			be.RetryAfter = time.Duration(ms) * time.Millisecond
+		} else if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			be.RetryAfter = time.Duration(secs) * time.Second
 		}
 		return resp.StatusCode, be
@@ -143,6 +153,72 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobS
 	var st service.JobStatus
 	_, err = c.do(req, &st)
 	return st, err
+}
+
+// BatchItem is one spec's outcome from SubmitBatch: the accepted status
+// or the per-item error, mirroring what Submit would have returned for
+// the same spec on its own.
+type BatchItem struct {
+	Status service.JobStatus
+	Err    error
+}
+
+// SubmitBatch posts N specs in one POST /v1/jobs:batch call. Admission
+// is evaluated per item, so some items may be accepted while others are
+// rejected; the returned slice is index-aligned with specs. The error
+// is non-nil only when the batch call itself failed (transport, 4xx/5xx
+// on the whole request).
+func (c *Client) SubmitBatch(ctx context.Context, specs []service.JobSpec) ([]BatchItem, error) {
+	payload, err := json.Marshal(struct {
+		Jobs []service.JobSpec `json:"jobs"`
+	}{Jobs: specs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs:batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out struct {
+		Results []service.BatchResult `json:"results"`
+	}
+	if _, err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(specs) {
+		return nil, fmt.Errorf("client: batch answered %d results for %d specs", len(out.Results), len(specs))
+	}
+	items := make([]BatchItem, len(out.Results))
+	for i, r := range out.Results {
+		items[i] = batchItem(r)
+	}
+	return items, nil
+}
+
+// batchItem converts one wire BatchResult into the error shapes the
+// rest of the client uses (BusyError for 429s, HTTPError otherwise).
+func batchItem(r service.BatchResult) BatchItem {
+	var it BatchItem
+	if r.Status != nil {
+		it.Status = *r.Status
+	}
+	switch {
+	case r.Code == http.StatusAccepted || r.Code == http.StatusOK:
+	case r.Code == http.StatusTooManyRequests:
+		it.Err = &BusyError{
+			RetryAfter: time.Duration(r.RetryAfterMs) * time.Millisecond,
+			Class:      r.Class,
+		}
+	default:
+		it.Err = &HTTPError{
+			StatusCode: r.Code,
+			Status:     fmt.Sprintf("%d %s", r.Code, http.StatusText(r.Code)),
+			Message:    r.Error,
+		}
+	}
+	return it
 }
 
 // Backoff tunes SubmitRetry. Zero values take the documented defaults.

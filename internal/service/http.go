@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -40,6 +41,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -51,6 +53,15 @@ func (s *Service) Handler() http.Handler {
 
 // JobIDHeader carries a router-assigned job id on POST /v1/jobs.
 const JobIDHeader = "X-Specd-Job-Id"
+
+// RetryAfterMsHeader carries the computed retry hint with millisecond
+// resolution alongside the integer-seconds Retry-After (which rounds
+// up, so sub-second bucket refills would otherwise all read "1").
+const RetryAfterMsHeader = "X-Specd-Retry-After-Ms"
+
+// RejectClassHeader names the admission-rejection class on a 429
+// ("queue", "tenant", "quota", "shed", or "deadline").
+const RejectClassHeader = "X-Specd-Reject-Class"
 
 // DeadlineHeader propagates a caller deadline across process hops as
 // absolute unix-milliseconds. The router stamps it from its request
@@ -118,16 +129,40 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeSubmitResult(w, st, err)
 }
 
+// setRetryAfter stamps the computed retry hint: standard Retry-After
+// in whole seconds (rounded up, floor 1 — the header cannot express
+// fractions) plus the millisecond-resolution RetryAfterMsHeader and the
+// rejection class.
+func setRetryAfter(w http.ResponseWriter, wait time.Duration, class string) {
+	if wait <= 0 {
+		wait = time.Second
+	}
+	secs := (wait + time.Second - 1) / time.Second
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	ms := wait.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	w.Header().Set(RetryAfterMsHeader, strconv.FormatInt(ms, 10))
+	if class != "" {
+		w.Header().Set(RejectClassHeader, class)
+	}
+}
+
 // writeSubmitResult maps the shared admission outcomes onto HTTP.
 func (s *Service) writeSubmitResult(w http.ResponseWriter, st JobStatus, err error) {
 	var specErr *SpecError
+	var rej *RejectError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
 	case errors.Is(err, ErrDupJob):
 		writeJSON(w, http.StatusOK, st)
+	case errors.As(err, &rej):
+		setRetryAfter(w, rej.Wait, rej.Class)
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, 0, RejectQueue)
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -139,6 +174,90 @@ func (s *Service) writeSubmitResult(w http.ResponseWriter, st JobStatus, err err
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
+}
+
+// maxBatchItems bounds one POST /v1/jobs:batch call; bigger batches
+// should be split client-side so one request cannot occupy admission
+// for unbounded time.
+const maxBatchItems = 256
+
+// batchRequest is the wire form of POST /v1/jobs:batch.
+type batchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// BatchResult is one item's outcome in a batch submission: admission is
+// evaluated per item, so a batch can partially succeed. Code mirrors
+// the single-submit HTTP status for the item (202 accepted, 200
+// duplicate, 429 rejected, 400 bad spec, 503 draining/degraded).
+type BatchResult struct {
+	Status       *JobStatus `json:"status,omitempty"`
+	Code         int        `json:"code"`
+	Error        string     `json:"error,omitempty"`
+	Class        string     `json:"class,omitempty"`          // rejection class on 429
+	RetryAfterMs int64      `json:"retry_after_ms,omitempty"` // computed retry hint on 429/503
+}
+
+// SubmitBatch submits each spec independently through the normal
+// admission pipeline and reports per-item outcomes.
+func (s *Service) SubmitBatch(specs []JobSpec) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	for i, spec := range specs {
+		st, err := s.Submit(spec)
+		out[i] = batchResult(st, err)
+	}
+	return out
+}
+
+// batchResult maps one submission outcome onto its wire form, mirroring
+// writeSubmitResult's status mapping.
+func batchResult(st JobStatus, err error) BatchResult {
+	var specErr *SpecError
+	var rej *RejectError
+	switch {
+	case err == nil:
+		return BatchResult{Status: &st, Code: http.StatusAccepted}
+	case errors.Is(err, ErrDupJob):
+		return BatchResult{Status: &st, Code: http.StatusOK}
+	case errors.As(err, &rej):
+		ms := rej.Wait.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		return BatchResult{Code: http.StatusTooManyRequests, Error: err.Error(),
+			Class: rej.Class, RetryAfterMs: ms}
+	case errors.Is(err, ErrQueueFull):
+		return BatchResult{Code: http.StatusTooManyRequests, Error: err.Error(),
+			Class: RejectQueue, RetryAfterMs: 1000}
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
+		return BatchResult{Code: http.StatusServiceUnavailable, Error: err.Error(), RetryAfterMs: 1000}
+	case errors.As(err, &specErr):
+		return BatchResult{Code: http.StatusBadRequest, Error: err.Error()}
+	default:
+		return BatchResult{Code: http.StatusInternalServerError, Error: err.Error()}
+	}
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHandoffBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad batch: " + err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad batch: no jobs"})
+		return
+	}
+	if len(req.Jobs) > maxBatchItems {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("bad batch: %d jobs over the %d-item limit", len(req.Jobs), maxBatchItems)})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []BatchResult `json:"results"`
+	}{Results: s.SubmitBatch(req.Jobs)})
 }
 
 // HandoffRequest is the wire form of a cluster job handoff (POST
@@ -229,6 +348,17 @@ type Health struct {
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
 
+	// Brownout: sustained overload (or degraded mode) is shedding the
+	// lowest priority classes at admission. BrownoutLevel is the highest
+	// priority currently shed; ShedTenants lists the configured tenants
+	// whose default priority class that covers. Still 200 on /healthz —
+	// a browned-out node serves everything above the shed line — but the
+	// router deprioritizes it for placement.
+	Brownout      bool     `json:"brownout,omitempty"`
+	BrownoutLevel int      `json:"brownout_level,omitempty"`
+	ShedTenants   []string `json:"shed_tenants,omitempty"`
+	QueueWaitP99  float64  `json:"queue_wait_p99_seconds,omitempty"`
+
 	// Router-only: members whose lease expired but who still answer
 	// probes (e.g. under an asymmetric partition).
 	SuspectMembers []string `json:"suspect_members,omitempty"`
@@ -261,15 +391,38 @@ func (s *Service) HealthStatus() Health {
 		Role:          role,
 		LeaseExpires:  lease,
 	}
+	if level, p99, _, shed := s.BrownoutInfo(); level > 0 {
+		body.Brownout = true
+		body.BrownoutLevel = level
+		body.ShedTenants = shed
+		body.QueueWaitP99 = p99
+	}
 	if deg, reason := s.DegradedInfo(); deg {
 		body.Status = "degraded"
 		body.Degraded = true
 		body.DegradedReason = reason
+		// Degraded mode refuses every submission, which is brownout taken
+		// to its limit: report it as shedding every priority class so
+		// placement treats the node accordingly.
+		body.Brownout = true
+		body.BrownoutLevel = MaxPriority
 	}
 	if s.Draining() {
 		body.Status = "draining"
 	}
 	return body
+}
+
+// BrownedOut reports whether admission is currently shedding any
+// priority class — sustained overload or degraded mode. The cluster
+// agent folds it into the node's load report so the router can
+// deprioritize browned-out nodes for placement.
+func (s *Service) BrownedOut() bool {
+	if deg, _ := s.DegradedInfo(); deg {
+		return true
+	}
+	level, _, _, _ := s.BrownoutInfo()
+	return level > 0
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -55,8 +55,40 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 
 	header("specd_jobs_submitted_total", "Jobs accepted into the queue.", "counter")
 	fmt.Fprintf(&b, "specd_jobs_submitted_total %d\n", s.submitted.Load())
-	header("specd_jobs_rejected_total", "Jobs rejected by queue backpressure.", "counter")
+	header("specd_jobs_rejected_total", "Jobs rejected by admission control.", "counter")
 	fmt.Fprintf(&b, "specd_jobs_rejected_total %d\n", s.rejected.Load())
+
+	tenants := s.TenantStats()
+	header("specd_tenant_queue_depth", "Queued jobs by tenant.", "gauge")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "specd_tenant_queue_depth{tenant=%q} %d\n", t.Name, t.Queued)
+	}
+	header("specd_tenant_submitted_total", "Jobs admitted by tenant.", "counter")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "specd_tenant_submitted_total{tenant=%q} %d\n", t.Name, t.Submitted)
+	}
+	header("specd_tenant_completed_total", "Jobs finished in state done by tenant.", "counter")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "specd_tenant_completed_total{tenant=%q} %d\n", t.Name, t.Completed)
+	}
+	header("specd_tenant_rejected_total", "Admission rejections by tenant and class.", "counter")
+	for _, t := range tenants {
+		for _, class := range []string{RejectQueue, RejectTenant, RejectQuota, RejectShed, RejectDeadline} {
+			if n := t.Rejected[class]; n > 0 {
+				fmt.Fprintf(&b, "specd_tenant_rejected_total{tenant=%q,class=%q} %d\n", t.Name, class, n)
+			}
+		}
+	}
+
+	header("specd_preemptions_total", "Barrier pauses forced by higher-priority arrivals.", "counter")
+	fmt.Fprintf(&b, "specd_preemptions_total %d\n", s.Preemptions())
+	level, p99, shedTotal, _ := s.BrownoutInfo()
+	header("specd_brownout_level", "Highest priority class currently shed by brownout (0 = healthy).", "gauge")
+	fmt.Fprintf(&b, "specd_brownout_level %d\n", level)
+	header("specd_brownout_shed_total", "Submissions shed by brownout.", "counter")
+	fmt.Fprintf(&b, "specd_brownout_shed_total %d\n", shedTotal)
+	header("specd_queue_wait_p99_seconds", "Last evaluated queue-wait p99 (brownout window).", "gauge")
+	fmt.Fprintf(&b, "specd_queue_wait_p99_seconds %s\n", formatFloat(p99))
 
 	header("specd_rounds_total", "Executor rounds run across all jobs.", "counter")
 	fmt.Fprintf(&b, "specd_rounds_total %d\n", rounds)

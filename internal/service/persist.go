@@ -26,6 +26,7 @@ const (
 	recCheckpoint = "checkpoint" // periodic round checkpoint (every K rounds)
 	recFinished   = "finished"   // terminal transition: done, failed, or canceled
 	recHandoff    = "handoff"    // job accepted from a dead cluster member (StateRecovered)
+	recPaused     = "paused"     // preempted at a barrier, re-queued (StatePaused)
 )
 
 // walRecord is the wire form of one journaled transition. Fields are
@@ -36,6 +37,9 @@ type walRecord struct {
 	At      time.Time `json:"at"`
 	Spec    *JobSpec  `json:"spec,omitempty"`    // submitted
 	Attempt int       `json:"attempt,omitempty"` // started, checkpoint, finished
+	// Preemptions is the absolute barrier-pause count (progress records),
+	// absolute so replay over a covering snapshot stays idempotent.
+	Preemptions int `json:"preemptions,omitempty"`
 
 	// Checkpoint / finished payload: the job's attempt-local progress.
 	Rounds    int            `json:"rounds,omitempty"`
@@ -165,7 +169,8 @@ func (j *job) progressRecord(typ string, points []RoundPoint) walRecord {
 	st := j.status
 	rec := walRecord{
 		Type: typ, ID: st.ID, At: time.Now(), Attempt: st.Attempt,
-		Rounds: st.Rounds, CurrentM: st.CurrentM, Pending: st.Pending,
+		Preemptions: st.Preemptions,
+		Rounds:      st.Rounds, CurrentM: st.CurrentM, Pending: st.Pending,
 		Launched: st.Launched, Committed: st.Committed, Aborted: st.Aborted,
 		Failed: st.Failed, Poisoned: st.Poisoned, RSum: j.rSum,
 	}
@@ -195,6 +200,19 @@ func (s *Service) journalCheckpoint(j *job, points []RoundPoint) {
 		return
 	}
 	s.appendRecord(j.progressRecord(recCheckpoint, points))
+}
+
+// journalPause records a preemption barrier: the interrupted attempt's
+// progress (with the trajectory delta since the last checkpoint) under
+// the already-bumped attempt counter. Written before the job re-enters
+// the scheduler, so a crash on either side of the pause recovers
+// cleanly — before the record lands replay sees a running job and takes
+// the crash-recovery path, after it replay re-queues the paused job.
+func (s *Service) journalPause(j *job, points []RoundPoint) {
+	if s.jnl == nil {
+		return
+	}
+	s.appendRecord(j.progressRecord(recPaused, points))
 }
 
 // journalFinish records a terminal transition with any trajectory
@@ -370,7 +388,8 @@ func (s *Service) restoreState(rep *journal.Replayed) (*restored, error) {
 				continue
 			}
 			if rec.Attempt >= st.Attempt {
-				if rec.Attempt > st.Attempt || st.State == StateQueued || st.State == StateRecovered {
+				if rec.Attempt > st.Attempt || st.State == StateQueued ||
+					st.State == StateRecovered || st.State == StatePaused {
 					resetAttemptCounters(j)
 				}
 				st.Attempt = rec.Attempt
@@ -387,6 +406,18 @@ func (s *Service) restoreState(rep *journal.Replayed) (*restored, error) {
 			}
 			st.Attempt = rec.Attempt
 			st.State = StateRunning
+			applyProgress(j, rec)
+			push(j, m, rec.Points)
+		case recPaused:
+			// A preemption barrier: the job left its worker with the
+			// recorded (already-bumped) attempt and re-queued. The next
+			// started record at that attempt resumes it.
+			if st.Terminal() || rec.Attempt < st.Attempt {
+				continue
+			}
+			st.Attempt = rec.Attempt
+			st.State = StatePaused
+			st.StartedAt = nil
 			applyProgress(j, rec)
 			push(j, m, rec.Points)
 		case recHandoff:
@@ -458,6 +489,10 @@ func (s *Service) restoreState(rep *journal.Replayed) (*restored, error) {
 			// attempt counter was already bumped.
 			r.recovered++
 			r.pending = append(r.pending, j)
+		case StatePaused:
+			// Preempted and re-queued before the crash: still pending, the
+			// attempt counter was bumped at the pause barrier.
+			r.pending = append(r.pending, j)
 		case StateQueued:
 			r.pending = append(r.pending, j)
 		default:
@@ -486,6 +521,9 @@ func resetAttemptCounters(j *job) {
 // finished record.
 func applyProgress(j *job, rec walRecord) {
 	st := &j.status
+	if rec.Preemptions > st.Preemptions {
+		st.Preemptions = rec.Preemptions
+	}
 	st.Rounds = rec.Rounds
 	st.CurrentM = rec.CurrentM
 	st.Pending = rec.Pending

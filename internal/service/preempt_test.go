@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// pacedSpec is a deterministic cc job slowed by delay-fault injection
+// so the test can land a preemption mid-run. Everything that shapes the
+// trajectory (seed, controller, fault plan) is pinned, so two runs of
+// the same spec produce identical round sequences.
+func pacedSpec(prio int) JobSpec {
+	return JobSpec{
+		Workload: "cc", Controller: "fixed", FixedM: 2,
+		Size: 600, Seed: 42, Parallel: 1, Priority: prio,
+		Fault: &FaultSpec{DelayRate: 1, Delay: Duration(500 * time.Microsecond)},
+	}
+}
+
+// runBaseline executes the spec uncontended and returns its trajectory.
+func runBaseline(t *testing.T) []RoundPoint {
+	t.Helper()
+	s := New(Config{Workers: 1, QueueCap: 4, HistoryCap: 100000})
+	defer s.Shutdown(context.Background())
+	st, err := s.Submit(pacedSpec(2))
+	if err != nil {
+		t.Fatalf("baseline submit: %v", err)
+	}
+	final := waitTerminal(t, s, st.ID, 60*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("baseline state %s: %s", final.State, final.Error)
+	}
+	return final.Trajectory
+}
+
+// TestPreemptionAtBarrier: on a single-worker service, a priority-9
+// arrival pauses the running low-priority job at its next round
+// barrier; the paused job re-queues, re-runs, and its trajectory ends
+// up as pre-preemption prefix + a full deterministic re-run — both
+// matching the unpreempted baseline.
+func TestPreemptionAtBarrier(t *testing.T) {
+	base := runBaseline(t)
+	if len(base) < 10 {
+		t.Fatalf("baseline produced only %d rounds; too short to preempt meaningfully", len(base))
+	}
+
+	s := New(Config{Workers: 1, QueueCap: 8, HistoryCap: 100000})
+	defer s.Shutdown(context.Background())
+
+	victim, err := s.Submit(pacedSpec(2))
+	if err != nil {
+		t.Fatalf("victim submit: %v", err)
+	}
+	// Let the victim get a few rounds in before the high-priority job
+	// arrives, so there is a real prefix to preserve.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := s.Job(victim.ID)
+		if st.State == StateRunning && st.Rounds >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never reached 3 running rounds (state %s, rounds %d)", st.State, st.Rounds)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The urgent job is paced too, so the victim's StatePaused window
+	// stays wide enough (tens of ms) for the 1ms poll below to see it.
+	urgentSpec := JobSpec{
+		Workload: "cc", Controller: "fixed", FixedM: 2,
+		Size: 120, Seed: 7, Parallel: 1, Priority: MaxPriority,
+		Fault: &FaultSpec{DelayRate: 1, Delay: Duration(500 * time.Microsecond)},
+	}
+	urgent, err := s.Submit(urgentSpec)
+	if err != nil {
+		t.Fatalf("urgent submit: %v", err)
+	}
+
+	// The victim must yield the only worker: observe StatePaused before
+	// it completes.
+	sawPaused := false
+	for time.Now().Before(deadline) {
+		st, _ := s.Job(victim.ID)
+		if st.State == StatePaused {
+			sawPaused = true
+			break
+		}
+		if st.Terminal() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawPaused {
+		t.Fatal("victim never observed in StatePaused after priority-9 arrival")
+	}
+
+	uFinal := waitTerminal(t, s, urgent.ID, 60*time.Second)
+	if uFinal.State != StateDone {
+		t.Fatalf("urgent job state %s: %s", uFinal.State, uFinal.Error)
+	}
+	vFinal := waitTerminal(t, s, victim.ID, 60*time.Second)
+	if vFinal.State != StateDone {
+		t.Fatalf("victim state %s: %s", vFinal.State, vFinal.Error)
+	}
+	if vFinal.Preemptions != 1 {
+		t.Fatalf("victim Preemptions=%d, want 1", vFinal.Preemptions)
+	}
+	if vFinal.Attempt != 2 {
+		t.Fatalf("victim Attempt=%d, want 2 (one pause, one re-run)", vFinal.Attempt)
+	}
+	if s.Preemptions() != 1 {
+		t.Fatalf("service preemption counter %d, want 1", s.Preemptions())
+	}
+
+	// Trajectory = attempt-1 prefix + complete attempt-2 re-run. The
+	// prefix must match the baseline's first rounds; the re-run must
+	// reproduce the whole baseline (deterministic workload).
+	var prefix, rerun []RoundPoint
+	for _, p := range vFinal.Trajectory {
+		if p.Attempt == vFinal.Attempt {
+			rerun = append(rerun, p)
+		} else {
+			prefix = append(prefix, p)
+		}
+	}
+	if len(prefix) == 0 {
+		t.Fatal("no attempt-1 prefix survived the preemption")
+	}
+	if len(prefix) >= len(base) {
+		t.Fatalf("prefix %d rounds >= baseline %d: victim was never actually interrupted", len(prefix), len(base))
+	}
+	samePoint := func(a, b RoundPoint) bool {
+		return a.Round == b.Round && a.M == b.M && a.Launched == b.Launched &&
+			a.Committed == b.Committed && a.Aborted == b.Aborted && a.R == b.R
+	}
+	for i, p := range prefix {
+		if !samePoint(p, base[i]) {
+			t.Fatalf("prefix round %d diverged from baseline: got %+v want %+v", i, p, base[i])
+		}
+	}
+	if len(rerun) != len(base) {
+		t.Fatalf("re-run has %d rounds, baseline %d", len(rerun), len(base))
+	}
+	for i, p := range rerun {
+		if !samePoint(p, base[i]) {
+			t.Fatalf("re-run round %d diverged from baseline: got %+v want %+v", i, p, base[i])
+		}
+	}
+}
+
+// withPriority returns a copy of the spec at the given priority.
+func (s JobSpec) withPriority(p int) JobSpec {
+	s.Priority = p
+	return s
+}
+
+// TestPreemptionSkippedWhenIdle: a high-priority submit with a free
+// worker must not preempt anyone.
+func TestPreemptionSkippedWhenIdle(t *testing.T) {
+	s := New(Config{Workers: 2, QueueCap: 8})
+	defer s.Shutdown(context.Background())
+
+	victim, err := s.Submit(pacedSpec(2))
+	if err != nil {
+		t.Fatalf("victim submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := s.Job(victim.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := s.Submit(ccSpec(8).withPriority(MaxPriority)); err != nil {
+		t.Fatalf("urgent submit: %v", err)
+	}
+	vFinal := waitTerminal(t, s, victim.ID, 60*time.Second)
+	if vFinal.State != StateDone || vFinal.Preemptions != 0 {
+		t.Fatalf("victim state %s preemptions %d, want done with 0 (second worker was free)",
+			vFinal.State, vFinal.Preemptions)
+	}
+}
+
+// TestPreemptionIgnoresEqualOrHigher: an arrival only preempts a
+// strictly lower-priority job.
+func TestPreemptionIgnoresEqualOrHigher(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 8})
+	defer s.Shutdown(context.Background())
+
+	victim, err := s.Submit(pacedSpec(7))
+	if err != nil {
+		t.Fatalf("victim submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := s.Job(victim.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := s.Submit(ccSpec(9).withPriority(7)); err != nil {
+		t.Fatalf("equal-priority submit: %v", err)
+	}
+	vFinal := waitTerminal(t, s, victim.ID, 60*time.Second)
+	if vFinal.Preemptions != 0 {
+		t.Fatalf("equal-priority arrival preempted the running job (%d preemptions)", vFinal.Preemptions)
+	}
+}

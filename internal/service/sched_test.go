@@ -1,0 +1,248 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// schedJob builds a bare queued job for direct scheduler tests.
+func schedJob(tenant string, prio int) *job {
+	return &job{status: JobStatus{Spec: JobSpec{Tenant: tenant, Priority: prio}}}
+}
+
+func newTestSched(cfg Config) *scheduler {
+	return newScheduler(cfg.withDefaults())
+}
+
+// fill admits n jobs for a tenant at a priority, failing the test on
+// any rejection.
+func fill(t *testing.T, s *scheduler, tenant string, prio, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.admit(schedJob(tenant, prio)); err != nil {
+			t.Fatalf("admit %s[%d]: %v", tenant, i, err)
+		}
+	}
+}
+
+// TestSchedulerDRRFairness: two backlogged tenants at weights 3:1 must
+// dequeue in a 3:1 ratio under contention.
+func TestSchedulerDRRFairness(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 200,
+		Tenants: []TenantConfig{
+			{Name: "gold", Weight: 3},
+			{Name: "free", Weight: 1},
+		},
+	})
+	fill(t, s, "gold", 5, 60)
+	fill(t, s, "free", 5, 60)
+
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		j, ok := s.next()
+		if !ok {
+			t.Fatalf("next() closed at pop %d", i)
+		}
+		counts[j.status.Spec.Tenant]++
+	}
+	// Both stayed backlogged the whole time, so DRR is exact: 30:10.
+	if counts["gold"] != 30 || counts["free"] != 10 {
+		t.Fatalf("pops gold=%d free=%d, want 30:10", counts["gold"], counts["free"])
+	}
+}
+
+// TestSchedulerScavengerProgress: a negative-weight tenant trickles but
+// never starves while a weighted tenant floods.
+func TestSchedulerScavengerProgress(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 300,
+		Tenants: []TenantConfig{
+			{Name: "gold", Weight: 3},
+			{Name: "scav", Weight: -1},
+		},
+	})
+	fill(t, s, "gold", 5, 200)
+	fill(t, s, "scav", 5, 10)
+
+	counts := map[string]int{}
+	for i := 0; i < 100; i++ {
+		j, _ := s.next()
+		counts[j.status.Spec.Tenant]++
+	}
+	if counts["scav"] == 0 {
+		t.Fatal("scavenger tenant starved: 0 pops in 100")
+	}
+	if counts["scav"] >= counts["gold"]/4 {
+		t.Fatalf("scavenger got %d of 100 pops vs gold %d; want a trickle, not a share",
+			counts["scav"], counts["gold"])
+	}
+}
+
+// TestSchedulerStrictPriority: a higher-priority job dequeues before a
+// backlog of lower-priority ones, regardless of tenant rotation.
+func TestSchedulerStrictPriority(t *testing.T) {
+	s := newTestSched(Config{Workers: 1, QueueCap: 50})
+	fill(t, s, "a", 2, 10)
+	hi := schedJob("b", 9)
+	if err := s.admit(hi); err != nil {
+		t.Fatalf("admit high: %v", err)
+	}
+	j, _ := s.next()
+	if j != hi {
+		t.Fatalf("first pop is %s prio %d, want the priority-9 job",
+			j.status.Spec.Tenant, j.status.Spec.Priority)
+	}
+}
+
+// TestSchedulerTenantBound: a tenant's own max_pending trips before the
+// global queue and maps to ErrQueueFull for pre-tenant callers.
+func TestSchedulerTenantBound(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 100,
+		Tenants: []TenantConfig{{Name: "small", MaxPending: 2}},
+	})
+	fill(t, s, "small", 5, 2)
+	err := s.admit(schedJob("small", 5))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectTenant {
+		t.Fatalf("third admit: %v, want RejectError class %q", err, RejectTenant)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatal("tenant-bound rejection must match ErrQueueFull for compatibility")
+	}
+	// Another tenant is unaffected.
+	if err := s.admit(schedJob("other", 5)); err != nil {
+		t.Fatalf("other tenant blocked by small's bound: %v", err)
+	}
+}
+
+// TestSchedulerQuota: the token bucket rejects with a computed wait and
+// does NOT map to ErrQueueFull (it is not a capacity problem).
+func TestSchedulerQuota(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 100,
+		Tenants: []TenantConfig{{Name: "metered", Rate: 2, Burst: 1}},
+	})
+	if err := s.admit(schedJob("metered", 5)); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	err := s.admit(schedJob("metered", 5))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectQuota {
+		t.Fatalf("second admit: %v, want RejectError class %q", err, RejectQuota)
+	}
+	if rej.Wait <= 0 || rej.Wait > 600*time.Millisecond {
+		t.Fatalf("quota wait %v, want (0, 600ms] for rate 2/s", rej.Wait)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("quota rejection must not match ErrQueueFull")
+	}
+}
+
+// TestSchedulerBrownoutShedding: at shed level L, effective priorities
+// <= L are rejected with class "shed"; priority 9 always admits.
+func TestSchedulerBrownoutShedding(t *testing.T) {
+	s := newTestSched(Config{Workers: 1, QueueCap: 100})
+	s.setBrownoutLevel(3)
+	err := s.admit(schedJob("t", 3))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectShed {
+		t.Fatalf("prio-3 admit at level 3: %v, want class %q", err, RejectShed)
+	}
+	if err := s.admit(schedJob("t", 4)); err != nil {
+		t.Fatalf("prio-4 admit at level 3: %v", err)
+	}
+	// The level clamps below MaxPriority so priority 9 stays admissible.
+	s.setBrownoutLevel(MaxPriority + 5)
+	if lvl, _, _ := s.brownout(); lvl != MaxPriority-1 {
+		t.Fatalf("level %d, want clamp at %d", lvl, MaxPriority-1)
+	}
+	if err := s.admit(schedJob("t", MaxPriority)); err != nil {
+		t.Fatalf("prio-9 admit at max shed level: %v", err)
+	}
+}
+
+// TestSchedulerBrownoutEscalation drives the p99 window machinery
+// directly: N consecutive bad windows raise the level, a good window
+// lowers it.
+func TestSchedulerBrownoutEscalation(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 100,
+		BrownoutP99: 10 * time.Millisecond, BrownoutWindows: 2, BrownoutWindow: 4,
+	})
+	feed := func(w time.Duration, n int) {
+		s.mu.Lock()
+		for i := 0; i < n; i++ {
+			s.noteWaitLocked(w)
+		}
+		s.mu.Unlock()
+	}
+	feed(50*time.Millisecond, 4) // bad window 1
+	if lvl, _, _ := s.brownout(); lvl != 0 {
+		t.Fatalf("level %d after one bad window, want 0", lvl)
+	}
+	feed(50*time.Millisecond, 4) // bad window 2 -> escalate
+	if lvl, p99, _ := s.brownout(); lvl != 1 || p99 <= 0.01 {
+		t.Fatalf("level %d p99 %.3f after two bad windows, want level 1", lvl, p99)
+	}
+	feed(0, 4) // good window -> de-escalate
+	if lvl, _, _ := s.brownout(); lvl != 0 {
+		t.Fatalf("level %d after good window, want 0", lvl)
+	}
+}
+
+// TestSchedulerDeadlineShed: when the estimated queue wait exceeds a
+// job's max_duration, admission rejects instead of queueing a job that
+// can only miss its deadline.
+func TestSchedulerDeadlineShed(t *testing.T) {
+	s := newTestSched(Config{Workers: 1, QueueCap: 100})
+	s.observeService("t", 1*time.Second, true) // EWMA = 1s per job
+	fill(t, s, "t", 5, 4)                      // 4 ahead -> est wait 4s
+
+	err := s.admit(schedJob("t", 5))
+	// No deadline: admitted fine even with a long wait.
+	if err != nil {
+		t.Fatalf("no-deadline admit: %v", err)
+	}
+	j := schedJob("t", 5)
+	j.status.Spec.MaxDuration = Duration(2 * time.Second)
+	err = s.admit(j)
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectDeadline {
+		t.Fatalf("deadline admit: %v, want class %q", err, RejectDeadline)
+	}
+	if rej.Wait < 2*time.Second {
+		t.Fatalf("deadline wait hint %v, want >= estimated wait 2s", rej.Wait)
+	}
+}
+
+// TestSchedulerComputedRetryAfter: capacity rejections carry the
+// estimated dequeue wait once service-time data exists, not the
+// pre-tenant 1s constant.
+func TestSchedulerComputedRetryAfter(t *testing.T) {
+	s := newTestSched(Config{Workers: 1, QueueCap: 3})
+	fill(t, s, "t", 5, 3)
+
+	// Admit from a second tenant so the GLOBAL bound is what trips (a
+	// tenant's own default max_pending equals QueueCap and checks first).
+	// No completions yet: floor at the old 1s constant.
+	err := s.admit(schedJob("u", 5))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectQueue {
+		t.Fatalf("full-queue admit: %v", err)
+	}
+	if rej.Wait != time.Second {
+		t.Fatalf("wait %v with no service data, want the 1s floor", rej.Wait)
+	}
+
+	s.observeService("t", 3*time.Second, true)
+	err = s.admit(schedJob("u", 5))
+	if !errors.As(err, &rej) {
+		t.Fatalf("full-queue admit: %v", err)
+	}
+	if rej.Wait < 2*time.Second {
+		t.Fatalf("wait %v after 3s EWMA, want a computed (not constant) hint", rej.Wait)
+	}
+}

@@ -72,6 +72,7 @@ const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateRecovered State = "recovered" // restored after a crash, awaiting re-execution
+	StatePaused    State = "paused"    // preempted at a barrier, re-queued awaiting re-dispatch
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCanceled  State = "canceled" // user cancel, shutdown, or deadline; see JobStatus.Reason
@@ -106,7 +107,7 @@ const (
 // States lists every job state (metrics export them all, including
 // zero-valued ones, so dashboards see stable series).
 func States() []State {
-	return []State{StateQueued, StateRunning, StateRecovered, StateDone, StateFailed, StateCanceled}
+	return []State{StateQueued, StateRunning, StateRecovered, StatePaused, StateDone, StateFailed, StateCanceled}
 }
 
 // JobSpec is the wire-level job description accepted by POST /v1/jobs.
@@ -134,6 +135,15 @@ type JobSpec struct {
 	// CommitWindow fixes the async sliding-window size; 0 (default)
 	// tracks the controller's m adaptively. Async mode only.
 	CommitWindow int `json:"commit_window,omitempty"`
+	// Tenant attributes the job to an admission tenant (default
+	// "default"): token-bucket quota, queue bound, and fair-share weight
+	// are per tenant. See TenantConfig.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders scheduling (1..9, higher dequeues first) and
+	// drives preemption: a high-priority arrival on a saturated node
+	// pauses the lowest-priority running job at its next barrier. 0
+	// takes the tenant's default priority.
+	Priority int `json:"priority,omitempty"`
 }
 
 // RoundPoint is one recorded round of a job's trajectory. For async
@@ -175,8 +185,12 @@ type JobStatus struct {
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// Attempt counts executions of this job: 1 normally, bumped each
-	// time crash recovery restarts it from spec.
+	// time crash recovery restarts it from spec or a preemption pauses
+	// it at a barrier.
 	Attempt int `json:"attempt,omitempty"`
+	// Preemptions counts how many times a higher-priority arrival paused
+	// this job at a barrier (each preemption also bumps Attempt).
+	Preemptions int `json:"preemptions,omitempty"`
 
 	Rounds            int     `json:"rounds"`
 	CurrentM          int     `json:"current_m"`
@@ -230,6 +244,14 @@ type job struct {
 	cancelCh     chan struct{}
 	cancelOnce   sync.Once
 	cancelReason string
+
+	// preemptCh is closed to ask the running attempt to pause at its
+	// next barrier and yield its worker to a higher-priority job. Unlike
+	// cancelCh it is re-armed (resetPreempt) when a paused job is
+	// re-claimed, so a job can be preempted more than once.
+	preemptMu sync.Mutex
+	preemptCh chan struct{}
+	preempted bool
 }
 
 // requestCancel asks a running job to stop at the next round barrier.
@@ -240,6 +262,45 @@ func (j *job) requestCancel(reason string) {
 		j.mu.Unlock()
 		close(j.cancelCh)
 	})
+}
+
+// requestPreempt asks the current attempt to pause at its next barrier.
+// It reports whether this call initiated the preemption (false when one
+// is already pending for this attempt).
+func (j *job) requestPreempt() bool {
+	j.preemptMu.Lock()
+	defer j.preemptMu.Unlock()
+	if j.preempted {
+		return false
+	}
+	j.preempted = true
+	close(j.preemptCh)
+	return true
+}
+
+// resetPreempt re-arms the preemption channel for a fresh attempt.
+// Called at claim time, before the attempt's barrier loop can observe
+// the channel.
+func (j *job) resetPreempt() {
+	j.preemptMu.Lock()
+	j.preemptCh = make(chan struct{})
+	j.preempted = false
+	j.preemptMu.Unlock()
+}
+
+// preemptChan returns the current attempt's preemption channel.
+func (j *job) preemptChan() chan struct{} {
+	j.preemptMu.Lock()
+	defer j.preemptMu.Unlock()
+	return j.preemptCh
+}
+
+// isPreempted reports whether a preemption is pending on the current
+// attempt.
+func (j *job) isPreempted() bool {
+	j.preemptMu.Lock()
+	defer j.preemptMu.Unlock()
+	return j.preempted
 }
 
 // ring is a fixed-capacity round-history buffer keeping the last cap
@@ -389,6 +450,26 @@ type Config struct {
 	// (default 1s).
 	DegradedRetryInterval time.Duration
 
+	// Tenants holds per-tenant admission and scheduling overrides;
+	// TenantDefaults applies to every tenant the list does not name.
+	// Empty config means one implicit weight-1 unlimited tenant — the
+	// pre-tenant single-queue behavior. See LoadTenants and the specd
+	// -tenants flag.
+	Tenants        []TenantConfig
+	TenantDefaults TenantConfig
+	// BrownoutP99 enables brownout shedding: when the scheduler's
+	// queue-wait p99 exceeds this threshold for BrownoutWindows
+	// consecutive windows (of BrownoutWindow dequeues each), admission
+	// sheds the lowest-priority classes first, one level per bad streak.
+	// 0 disables brownout.
+	BrownoutP99 time.Duration
+	// BrownoutWindows is the consecutive bad-window streak that
+	// escalates the shed level (default 3).
+	BrownoutWindows int
+	// BrownoutWindow is the dequeue-sample count per brownout evaluation
+	// window (default 32).
+	BrownoutWindow int
+
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -430,6 +511,12 @@ func (c Config) withDefaults() Config {
 	if c.DegradedRetryInterval <= 0 {
 		c.DegradedRetryInterval = time.Second
 	}
+	if c.BrownoutWindows <= 0 {
+		c.BrownoutWindows = 3
+	}
+	if c.BrownoutWindow <= 0 {
+		c.BrownoutWindow = 32
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -445,15 +532,21 @@ type Service struct {
 	jobs  map[string]*job
 	order []string // submission order, for listing
 
-	queue    chan *job
+	sched    *scheduler
 	draining atomic.Bool
 	stop     chan struct{} // closed by Shutdown; wakes idle workers
 	wg       sync.WaitGroup
 
-	nextID    atomic.Int64
-	submitted atomic.Int64
-	rejected  atomic.Int64
-	running   atomic.Int64 // jobs currently executing rounds
+	nextID      atomic.Int64
+	submitted   atomic.Int64
+	rejected    atomic.Int64
+	running     atomic.Int64 // jobs currently executing rounds
+	preemptions atomic.Int64 // barrier pauses forced by higher-priority arrivals
+
+	// runningSet tracks the jobs currently holding workers, for
+	// preemption victim selection (lowest effective priority first).
+	runMu      sync.Mutex
+	runningSet map[*job]struct{}
 
 	// placedMu serializes explicit-id submissions (router placements and
 	// handoffs) so a duplicate delivery observes the first copy instead
@@ -502,11 +595,13 @@ func New(cfg Config) *Service {
 func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		start: time.Now(),
-		jobs:  make(map[string]*job),
-		stop:  make(chan struct{}),
+		cfg:        cfg,
+		start:      time.Now(),
+		jobs:       make(map[string]*job),
+		stop:       make(chan struct{}),
+		runningSet: make(map[*job]struct{}),
 	}
+	s.sched = newScheduler(cfg)
 
 	var pending []*job
 	if cfg.StateDir != "" {
@@ -542,11 +637,13 @@ func Open(cfg Config) (*Service, error) {
 		}
 	}
 
-	// Size the queue so every recovered pending job enqueues without
-	// blocking startup, while fresh admissions still see QueueCap slots.
-	s.queue = make(chan *job, cfg.QueueCap+len(pending))
+	// Grow the queue bound so every recovered pending job re-enqueues
+	// without eating into the QueueCap slots fresh admissions see —
+	// recovered work was already admitted once and bypasses admission
+	// control on requeue.
+	s.sched.queueCap += len(pending)
 	for _, j := range pending {
-		s.queue <- j
+		s.sched.requeue(j)
 	}
 	if s.jnl != nil {
 		// Fold the replayed segments into a fresh snapshot so the next
@@ -654,6 +751,17 @@ func (s *Service) normalize(spec JobSpec) (JobSpec, error) {
 	if spec.CommitWindow > 0 && spec.Mode != ModeAsync {
 		return spec, specErrf("commit_window requires mode %q", ModeAsync)
 	}
+	if spec.Tenant == "" {
+		spec.Tenant = DefaultTenant
+	} else if err := validTenantName(spec.Tenant); err != nil {
+		return spec, specErrf("bad tenant: %v", err)
+	}
+	if spec.Priority < 0 || spec.Priority > MaxPriority {
+		return spec, specErrf("priority %d out of [0,%d]", spec.Priority, MaxPriority)
+	}
+	if spec.Priority == 0 {
+		spec.Priority = s.sched.defaultPriorityFor(spec.Tenant)
+	}
 	return spec, nil
 }
 
@@ -754,13 +862,17 @@ func (s *Service) submit(id string, spec JobSpec, attempt int, prefix []RoundPoi
 			j.hist.push(p)
 		}
 	}
-	// Reserve the queue slot first: admission control must reject before
-	// the job becomes externally visible.
-	select {
-	case s.queue <- j:
-	default:
+	// Admission first: brownout shed, per-tenant depth, global depth,
+	// token bucket, and deadline-aware shedding must all reject before
+	// the job becomes externally visible. Handoffs and recoveries were
+	// admitted once already and only re-enter the queue.
+	admit := s.sched.admit
+	if recovered {
+		admit = s.sched.admitHandoff
+	}
+	if err := admit(j); err != nil {
 		s.rejected.Add(1)
-		return JobStatus{}, ErrQueueFull
+		return JobStatus{}, err
 	}
 	s.mu.Lock()
 	s.jobs[id] = j
@@ -806,7 +918,41 @@ func (s *Service) submit(id string, spec JobSpec, attempt int, prefix []RoundPoi
 		s.cfg.Logf("specd: job %s accepted by handoff (attempt %d, %d prefix points)",
 			id, attempt, len(prefix))
 	}
+	s.maybePreempt(id, spec.Priority)
 	return j.snapshot(0), nil
+}
+
+// maybePreempt checks whether a fresh arrival at the given effective
+// priority should displace running work: with every worker busy and
+// some running job at strictly lower priority, the lowest-priority one
+// is asked to pause at its next barrier, freeing its worker within one
+// round (async: one window flush).
+func (s *Service) maybePreempt(id string, newPrio int) {
+	if newPrio <= MinPriority || s.running.Load() < int64(s.cfg.Workers) {
+		return
+	}
+	s.runMu.Lock()
+	var victim *job
+	best := newPrio
+	for r := range s.runningSet {
+		if r.isPreempted() {
+			continue // its worker is already being freed
+		}
+		r.mu.Lock()
+		p := r.status.Spec.Priority
+		r.mu.Unlock()
+		if p < MinPriority || p > MaxPriority {
+			p = defaultPriority
+		}
+		if p < best {
+			best, victim = p, r
+		}
+	}
+	s.runMu.Unlock()
+	if victim != nil && victim.requestPreempt() {
+		s.cfg.Logf("specd: job %s (priority %d) preempting job %s (priority %d) at its next barrier",
+			id, newPrio, victim.status.ID, best)
+	}
 }
 
 // Job returns the status of the given job (with its full trajectory).
@@ -857,7 +1003,7 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 	}
 	j.mu.Lock()
 	switch j.status.State {
-	case StateQueued, StateRecovered:
+	case StateQueued, StateRecovered, StatePaused:
 		j.status.State = StateCanceled
 		j.status.Reason = ReasonUserCancel
 		j.status.Error = "canceled before start"
@@ -878,7 +1024,23 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
-func (s *Service) QueueDepth() int { return len(s.queue) }
+func (s *Service) QueueDepth() int { return s.sched.depth() }
+
+// Preemptions returns the number of barrier pauses forced by
+// higher-priority arrivals.
+func (s *Service) Preemptions() int64 { return s.preemptions.Load() }
+
+// TenantStats snapshots the scheduler's per-tenant counters.
+func (s *Service) TenantStats() []TenantStats { return s.sched.tenantStats() }
+
+// BrownoutInfo reports the scheduler's shed level (0 = healthy), the
+// last evaluated queue-wait p99 in seconds, the total sheds, and the
+// configured tenants whose default priority class is currently shed.
+func (s *Service) BrownoutInfo() (level int, lastP99 float64, shed int64, tenants []string) {
+	level, lastP99, shed = s.sched.brownout()
+	tenants = s.sched.shedTenants()
+	return
+}
 
 // Running returns the number of jobs currently executing rounds.
 func (s *Service) Running() int64 { return s.running.Load() }
@@ -1025,6 +1187,7 @@ func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
 func (s *Service) Shutdown(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
 		close(s.stop)
+		s.sched.close()
 	}
 	done := make(chan struct{})
 	go func() {
@@ -1050,17 +1213,16 @@ func (s *Service) Shutdown(ctx context.Context) error {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.stop:
+		j, ok := s.sched.next()
+		if !ok {
 			return
-		case j := <-s.queue:
-			if s.draining.Load() {
-				// Drained mid-pop: leave the job in state queued — it is
-				// still visible and reported as never started.
-				return
-			}
-			s.runJob(j)
 		}
+		if s.draining.Load() {
+			// Drained mid-pop: leave the job in state queued — it is
+			// still visible and reported as never started.
+			return
+		}
+		s.runJob(j)
 	}
 }
 
@@ -1074,26 +1236,41 @@ func (s *Service) runJob(j *job) {
 	id := j.status.ID // immutable after creation
 
 	// Claim: a job canceled while queued may still be sitting in the
-	// queue channel; skip it instead of resurrecting it. A recovered job
-	// restarts from spec: its attempt-local counters reset here (the
-	// attempt counter was bumped at recovery), while the trajectory ring
-	// keeps the checkpointed pre-crash prefix.
+	// scheduler; skip it instead of resurrecting it. A recovered or
+	// paused job restarts from spec: its attempt-local counters reset
+	// here (the attempt counter was bumped at recovery / preemption),
+	// while the trajectory ring keeps the checkpointed prefix.
 	j.mu.Lock()
-	if j.status.State != StateQueued && j.status.State != StateRecovered {
+	switch j.status.State {
+	case StateQueued:
+	case StateRecovered, StatePaused:
+		resetAttemptCounters(j)
+	default:
 		j.mu.Unlock()
 		return
-	}
-	if j.status.State == StateRecovered {
-		resetAttemptCounters(j)
 	}
 	j.status.State = StateRunning
 	now := time.Now()
 	j.status.StartedAt = &now
 	attempt := j.status.Attempt
 	j.mu.Unlock()
+	// Arm this attempt's preemption channel before the barrier loop (or
+	// the preemption victim scan) can observe it.
+	j.resetPreempt()
+	pch := j.preemptChan()
 
 	s.running.Add(1)
-	defer s.running.Add(-1)
+	s.runMu.Lock()
+	s.runningSet[j] = struct{}{}
+	s.runMu.Unlock()
+	defer func() {
+		s.runMu.Lock()
+		delete(s.runningSet, j)
+		s.runMu.Unlock()
+		s.running.Add(-1)
+		fin := j.snapshot(0)
+		s.sched.observeService(spec.Tenant, time.Since(now), fin.State == StateDone)
+	}()
 	s.journalStarted(id, attempt, now)
 
 	// delta accumulates rounds not yet covered by a checkpoint record;
@@ -1144,6 +1321,7 @@ func (s *Service) runJob(j *job) {
 		select {
 		case <-s.stop:
 		case <-j.cancelCh:
+		case <-pch:
 		case <-jobDone:
 		case <-ctx.Done():
 		}
@@ -1160,12 +1338,33 @@ func (s *Service) runJob(j *job) {
 		j.mu.Unlock()
 	}
 
+	// pauseJob is the preemption barrier: checkpoint progress to the
+	// journal, bump the attempt, and hand the job back to the scheduler
+	// in StatePaused so the freed worker picks up the higher-priority
+	// arrival. Journal-before-requeue makes a crash mid-preemption safe:
+	// before the pause record lands, replay sees a running job and takes
+	// the normal crash-recovery path; after, it re-queues the paused job.
+	pauseJob := func(progress int) {
+		j.mu.Lock()
+		j.status.State = StatePaused
+		j.status.Attempt++
+		j.status.Preemptions++
+		j.status.StartedAt = nil
+		j.mu.Unlock()
+		s.journalPause(j, delta)
+		delta = delta[:0]
+		s.preemptions.Add(1)
+		s.sched.requeue(j)
+		s.cfg.Logf("specd: job %s paused for a higher-priority job after %d rounds (attempt %d done, re-queued)",
+			id, progress, attempt)
+	}
+
 	if spec.Mode == ModeAsync {
-		s.runAsyncJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, &delta)
+		s.runAsyncJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, pauseJob, pch, &delta)
 		return
 	}
 	if spec.Mode == ModeColored {
-		s.runColoredJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, &delta)
+		s.runColoredJob(j, id, attempt, spec, run, ctrl, ctx, cancelJob, pauseJob, pch, &delta)
 		return
 	}
 
@@ -1173,6 +1372,9 @@ func (s *Service) runJob(j *job) {
 	round := 0
 	for ; round < spec.MaxRounds && run.Stepper.Pending() > 0; round++ {
 		select {
+		case <-pch:
+			pauseJob(round)
+			return
 		case <-j.cancelCh:
 			j.mu.Lock()
 			reason := j.cancelReason
@@ -1228,7 +1430,8 @@ func (s *Service) runJob(j *job) {
 // Durability checkpoints trigger on the absolute commit counter
 // (Config.CheckpointCommits) instead of on round count.
 func (s *Service) runAsyncJob(j *job, id string, attempt int, spec JobSpec, run *workload.Run,
-	ctrl control.Controller, ctx context.Context, cancelJob func(reason, errMsg string), delta *[]RoundPoint) {
+	ctrl control.Controller, ctx context.Context, cancelJob func(reason, errMsg string),
+	pauseJob func(progress int), pch chan struct{}, delta *[]RoundPoint) {
 	as, ok := run.Stepper.(workload.AsyncStepper)
 	if !ok {
 		s.failJob(j, id, fmt.Errorf("workload %q stepper cannot run barrier-free", spec.Workload))
@@ -1260,6 +1463,7 @@ func (s *Service) runAsyncJob(j *job, id string, attempt int, spec JobSpec, run 
 	})
 	if res.Canceled {
 		// Same reason precedence as the round loop: user cancel, then
+		// preemption (the window flush is the async barrier), then
 		// shutdown, then the deadline carried by ctx.
 		select {
 		case <-j.cancelCh:
@@ -1270,6 +1474,9 @@ func (s *Service) runAsyncJob(j *job, id string, attempt int, spec JobSpec, run 
 			s.cfg.Logf("specd: job %s canceled after %d commits (in-flight tasks settled)", id, res.Committed)
 		default:
 			select {
+			case <-pch:
+				pauseJob(res.Samples)
+				return
 			case <-s.stop:
 				cancelJob(ReasonShutdown, fmt.Sprintf("interrupted by shutdown after %d commits", res.Committed))
 				s.cfg.Logf("specd: job %s interrupted after %d commits (in-flight tasks settled)", id, res.Committed)
@@ -1293,7 +1500,8 @@ func (s *Service) runAsyncJob(j *job, id string, attempt int, spec JobSpec, run 
 // the per-job phase counters (colored rounds, colorings, fallbacks)
 // accumulate in the job status.
 func (s *Service) runColoredJob(j *job, id string, attempt int, spec JobSpec, run *workload.Run,
-	ctrl control.Controller, ctx context.Context, cancelJob func(reason, errMsg string), delta *[]RoundPoint) {
+	ctrl control.Controller, ctx context.Context, cancelJob func(reason, errMsg string),
+	pauseJob func(progress int), pch chan struct{}, delta *[]RoundPoint) {
 	cst, ok := run.Stepper.(workload.ColoredStepper)
 	if !ok {
 		s.failJob(j, id, fmt.Errorf("workload %q stepper cannot run colored", spec.Workload))
@@ -1328,7 +1536,7 @@ func (s *Service) runColoredJob(j *job, id string, attempt int, spec JobSpec, ru
 	})
 	if res.Canceled {
 		// Same reason precedence as the round loop: user cancel, then
-		// shutdown, then the deadline carried by ctx.
+		// preemption, then shutdown, then the deadline carried by ctx.
 		select {
 		case <-j.cancelCh:
 			j.mu.Lock()
@@ -1338,6 +1546,9 @@ func (s *Service) runColoredJob(j *job, id string, attempt int, spec JobSpec, ru
 			s.cfg.Logf("specd: job %s canceled after round %d (in-flight round completed)", id, res.Rounds)
 		default:
 			select {
+			case <-pch:
+				pauseJob(res.Rounds)
+				return
 			case <-s.stop:
 				cancelJob(ReasonShutdown, fmt.Sprintf("interrupted by shutdown after round %d", res.Rounds))
 				s.cfg.Logf("specd: job %s interrupted after round %d (in-flight round completed)", id, res.Rounds)

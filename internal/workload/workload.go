@@ -128,30 +128,69 @@ func (r *Run) ReportIncomplete(w io.Writer, res *speculation.AdaptiveResult, pen
 	fmt.Fprintf(w, "         INCOMPLETE: %d tasks still pending (round cap or cancellation); oracle not run\n", pending)
 }
 
+// DrainHooks customizes DrainHooked, the hook-bearing form of the
+// Algorithm 1 main loop.
+type DrainHooks struct {
+	// MaxRounds caps the drive (<= 0 means effectively unbounded).
+	MaxRounds int
+	// Barrier, when set, runs at every round barrier before the next
+	// round launches. Returning false stops the drive there — the
+	// in-flight round has already completed, so a preemption or
+	// cancellation observed here costs at most one round of work.
+	Barrier func(round int) bool
+	// OnRound, when set, receives every completed round after the
+	// controller has observed it.
+	OnRound func(round, m int, rr RoundResult)
+}
+
+// DrainHooked drives the stepper under controller c until the work-set
+// empties, the round cap trips, ctx is canceled, or the barrier hook
+// stops it — the paper's Algorithm 1 main loop (M → Round → Observe)
+// with a pause point at every round barrier. It returns the number of
+// rounds executed and whether the barrier hook stopped the drive.
+func DrainHooked(ctx context.Context, s Stepper, c control.Controller, h DrainHooks) (rounds int, stopped bool) {
+	maxRounds := h.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 30
+	}
+	round := 0
+	for ; round < maxRounds && s.Pending() > 0; round++ {
+		if ctx.Err() != nil {
+			return round, false
+		}
+		if h.Barrier != nil && !h.Barrier(round) {
+			return round, true
+		}
+		m := c.M()
+		rr := s.Round(ctx, m)
+		c.Observe(rr.ConflictRatio())
+		if h.OnRound != nil {
+			h.OnRound(round, m, rr)
+		}
+	}
+	return round, false
+}
+
 // Drain drives the stepper under controller c until the work-set
 // empties, maxRounds elapse, or ctx is canceled — the paper's
 // Algorithm 1 main loop, identical to speculation.RunAdaptive but
 // expressed over the Stepper abstraction so ordered and unordered
 // workloads share it. Failed attempts count as wasted work alongside
-// aborts, but only aborts feed the controller's conflict ratio.
+// aborts, but only aborts feed the controller's conflict ratio. It is
+// DrainHooked with no barrier hook, accumulating the standard result.
 func Drain(ctx context.Context, s Stepper, c control.Controller, maxRounds int) *speculation.AdaptiveResult {
 	res := &speculation.AdaptiveResult{Controller: c.Name()}
-	for round := 0; round < maxRounds && s.Pending() > 0; round++ {
-		if ctx.Err() != nil {
-			break
-		}
-		m := c.M()
-		rr := s.Round(ctx, m)
-		r := rr.ConflictRatio()
-		res.M = append(res.M, m)
-		res.R = append(res.R, r)
-		res.Committed = append(res.Committed, rr.Committed)
-		res.UsefulWork += rr.Committed
-		res.WastedWork += rr.Aborted + rr.Failed
-		res.ProcRounds += rr.Launched
-		res.Rounds++
-		c.Observe(r)
-	}
+	res.Rounds, _ = DrainHooked(ctx, s, c, DrainHooks{
+		MaxRounds: maxRounds,
+		OnRound: func(round, m int, rr RoundResult) {
+			res.M = append(res.M, m)
+			res.R = append(res.R, rr.ConflictRatio())
+			res.Committed = append(res.Committed, rr.Committed)
+			res.UsefulWork += rr.Committed
+			res.WastedWork += rr.Aborted + rr.Failed
+			res.ProcRounds += rr.Launched
+		},
+	})
 	return res
 }
 

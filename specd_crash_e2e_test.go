@@ -257,6 +257,116 @@ func appendTornRecord(dir string) error {
 	return err
 }
 
+// TestSpecdCrashDuringPreemption: SIGKILL the daemon right after a
+// preemption checkpoint lands but before the paused job gets another
+// turn — the window where the pause record is durable but the
+// in-memory re-enqueue is lost. Restart must restore the paused job
+// from the journal, finish it with its pre-preemption trajectory
+// prefix intact, and finish the high-priority job that triggered the
+// pause.
+func TestSpecdCrashDuringPreemption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e skipped in -short mode")
+	}
+	bin := buildCmd(t, "specd")
+	stateDir := t.TempDir()
+	args := []string{
+		"-workers", "1", "-parallel", "1", "-queue", "32",
+		"-state-dir", stateDir, "-fsync", "always",
+		"-checkpoint-rounds", "2", "-history", "40000",
+	}
+	p, base := startSpecd(t, bin, args...)
+	c := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// A slow low-priority mesh job holds the only worker, checkpointing
+	// every 2 rounds.
+	victim, err := c.Submit(ctx, service.JobSpec{
+		Workload: "mesh", Controller: "fixed", FixedM: 2, Size: 30000,
+		Priority: 2,
+	})
+	if err != nil {
+		t.Fatalf("submit victim: %v", err)
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		st, err := c.Job(ctx, victim.ID)
+		if err == nil && st.State == service.StateRunning && st.Rounds >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never checkpointed (last %+v, err %v)", st, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The priority-9 arrival forces a pause at the victim's next round
+	// barrier; the pause record hits the journal before the re-enqueue.
+	urgent, err := c.Submit(ctx, service.JobSpec{
+		Workload: "cc", Controller: "hybrid", Size: 300,
+		Priority: service.MaxPriority,
+	})
+	if err != nil {
+		t.Fatalf("submit urgent: %v", err)
+	}
+	p.waitLine(t, "(priority 9) preempting", 30*time.Second)
+	p.waitLine(t, "paused for a higher-priority job", 30*time.Second)
+
+	// Kill in the checkpoint-to-requeue window (the re-enqueue lives
+	// only in memory; the journal's paused record is the truth).
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	select {
+	case <-p.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("specd did not die after SIGKILL")
+	}
+
+	p2, base2 := startSpecd(t, bin, args...)
+	c2 := client.New(base2)
+	p2.waitLine(t, "recovered state from", 20*time.Second)
+
+	// Both jobs finish after restart.
+	vFinal, err := c2.Wait(ctx, victim.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait victim: %v", err)
+	}
+	if vFinal.State != service.StateDone {
+		t.Fatalf("victim state %s after recovery (reason %q, error %q)", vFinal.State, vFinal.Reason, vFinal.Error)
+	}
+	uFinal, err := c2.Wait(ctx, urgent.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait urgent: %v", err)
+	}
+	if uFinal.State != service.StateDone {
+		t.Fatalf("urgent state %s after recovery", uFinal.State)
+	}
+
+	// The pause survived the crash: attempt counter and preemption
+	// count restored from the journal, pre-preemption rounds preserved.
+	if vFinal.Preemptions != 1 {
+		t.Errorf("victim Preemptions=%d after recovery, want 1", vFinal.Preemptions)
+	}
+	if vFinal.Attempt < 2 {
+		t.Errorf("victim Attempt=%d, want >= 2 (the pause bumped it)", vFinal.Attempt)
+	}
+	var prefix, rerun int
+	for _, pt := range vFinal.Trajectory {
+		if pt.Attempt == 0 {
+			prefix++
+		} else if pt.Attempt == vFinal.Attempt {
+			rerun++
+		}
+	}
+	if prefix < 4 {
+		t.Errorf("victim kept %d pre-preemption rounds, want >= 4 (checkpoint-rounds=2 with 4+ rounds run)", prefix)
+	}
+	if rerun == 0 {
+		t.Error("victim recorded no re-run rounds")
+	}
+}
+
 // TestSpecdRestartCleanState: restarting on a state dir after a clean
 // drain restores every finished job without re-running anything.
 func TestSpecdRestartCleanState(t *testing.T) {

@@ -1,0 +1,276 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// writeTenantsFile writes the overload e2e's tenant policy: a flooder
+// on weight 1 with a bounded backlog, a favored tenant on weight 3, and
+// a scavenger that must trickle but never block anyone.
+func writeTenantsFile(t *testing.T) string {
+	t.Helper()
+	tf := service.TenantsFile{
+		Tenants: []service.TenantConfig{
+			{Name: "flood", Weight: 1, MaxPending: 24},
+			{Name: "gold", Weight: 3},
+			{Name: "scav", Weight: -1, MaxPending: 8},
+		},
+	}
+	b, err := json.Marshal(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSpecdOverloadFairness floods one node from three tenants with
+// skewed weights and checks the admission layer's promises under
+// saturation:
+//
+//   - the flooding tenant's backlog never exhausts the global queue —
+//     the favored tenant's first submit is admitted, not 429'd;
+//   - weighted-fair scheduling holds: the weight-3 tenant completes at
+//     >= 2.5x the weight-1 flooder;
+//   - the scavenger makes progress without a real share;
+//   - /healthz answers 200 throughout the flood;
+//   - a priority-9 job submitted to the saturated node preempts a
+//     running low-priority job (specd_preemptions_total advances).
+func TestSpecdOverloadFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e skipped in -short mode")
+	}
+	bin := buildCmd(t, "specd")
+	tenants := writeTenantsFile(t)
+	p, base := startSpecd(t, bin,
+		"-workers", "2", "-parallel", "1", "-queue", "48",
+		"-tenants", tenants,
+	)
+	c := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// A paced low-priority job pins one worker so the preemption check
+	// below has a victim; everything else contends for the rest.
+	victim, err := c.Submit(ctx, service.JobSpec{
+		Workload: "cc", Controller: "fixed", FixedM: 2, Size: 1000,
+		Tenant: "scav", Priority: 1, Parallel: 1,
+		Fault: &service.FaultSpec{DelayRate: 1, Delay: service.Duration(2 * time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatalf("submit victim: %v", err)
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		st, err := c.Job(ctx, victim.ID)
+		if err == nil && st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never started (last %+v, err %v)", st, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// healthz poller: must answer 200 for the whole flood.
+	healthCtx, stopHealth := context.WithCancel(ctx)
+	var healthFails atomic.Int64
+	var healthChecks atomic.Int64
+	var healthWG sync.WaitGroup
+	healthWG.Add(1)
+	go func() {
+		defer healthWG.Done()
+		for healthCtx.Err() == nil {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				healthChecks.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					healthFails.Add(1)
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// The flood: tenant "flood" hammers the node from 4 goroutines,
+	// keeping its (bounded) queue saturated for the whole window. The
+	// per-task delay paces each job to ~100ms so service capacity (not
+	// the HTTP submit rate) is the bottleneck — fairness is only
+	// observable when both tenant queues stay backlogged.
+	quick := func(tenant string, seed uint64) service.JobSpec {
+		return service.JobSpec{
+			Workload: "cc", Controller: "hybrid", Size: 50, Seed: seed,
+			Tenant: tenant, Parallel: 1,
+			Fault: &service.FaultSpec{DelayRate: 1, Delay: service.Duration(2 * time.Millisecond)},
+		}
+	}
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	var floodWG sync.WaitGroup
+	var floodRejects atomic.Int64
+	for g := 0; g < 4; g++ {
+		floodWG.Add(1)
+		go func(g int) {
+			defer floodWG.Done()
+			for i := 0; floodCtx.Err() == nil; i++ {
+				_, err := c.Submit(floodCtx, quick("flood", uint64(g*100000+i)))
+				if err != nil {
+					floodRejects.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+
+	// Let the flood saturate the queue, then the well-behaved tenant
+	// shows up. Its first submit must be admitted: the flooder's
+	// max_pending bound leaves global headroom by construction.
+	time.Sleep(300 * time.Millisecond)
+	goldFirst, err := c.Submit(ctx, quick("gold", 1))
+	if err != nil {
+		t.Fatalf("gold tenant's first submit rejected during flood: %v", err)
+	}
+
+	// Keep both tenants saturated for a fairness window: gold submits
+	// from 2 goroutines too.
+	goldCtx, stopGold := context.WithCancel(ctx)
+	var goldWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		goldWG.Add(1)
+		go func(g int) {
+			defer goldWG.Done()
+			for i := 0; goldCtx.Err() == nil; i++ {
+				_, err := c.Submit(goldCtx, quick("gold", uint64(g*100000+i)))
+				if err != nil {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	// Scavenger trickle submissions.
+	scavCtx, stopScav := context.WithCancel(ctx)
+	var scavWG sync.WaitGroup
+	scavWG.Add(1)
+	go func() {
+		defer scavWG.Done()
+		for i := 0; scavCtx.Err() == nil; i++ {
+			c.Submit(scavCtx, quick("scav", uint64(i)))
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Mid-flood: a priority-9 job preempts the running priority-1
+	// victim instead of waiting behind the backlog.
+	if _, err := c.Submit(ctx, func() service.JobSpec {
+		s := quick("gold", 999)
+		s.Priority = service.MaxPriority
+		return s
+	}()); err != nil {
+		t.Fatalf("priority-9 submit rejected: %v", err)
+	}
+	p.waitLine(t, "(priority 9) preempting", 30*time.Second)
+	p.waitLine(t, "paused for a higher-priority job", 30*time.Second)
+
+	readStats := func() (completed map[string]float64, preemptions float64) {
+		t.Helper()
+		metrics, err := c.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		completed = map[string]float64{}
+		for _, line := range strings.Split(metrics, "\n") {
+			var v float64
+			switch {
+			case strings.HasPrefix(line, "specd_tenant_completed_total{"):
+				var tenant string
+				if _, err := fmt.Sscanf(line, "specd_tenant_completed_total{tenant=%q} %f", &tenant, &v); err == nil {
+					completed[tenant] = v
+				}
+			case strings.HasPrefix(line, "specd_preemptions_total "):
+				fmt.Sscanf(line, "specd_preemptions_total %f", &preemptions)
+			}
+		}
+		return completed, preemptions
+	}
+
+	// Fairness window: measure completion DELTAS while both tenants are
+	// saturated, so the flood's head start doesn't pollute the ratio.
+	time.Sleep(500 * time.Millisecond) // let gold's backlog fill
+	before, _ := readStats()
+	time.Sleep(8 * time.Second)
+	after, preemptions := readStats()
+	stopFlood()
+	stopGold()
+	stopScav()
+	floodWG.Wait()
+	goldWG.Wait()
+	scavWG.Wait()
+
+	if preemptions < 1 {
+		t.Errorf("specd_preemptions_total = %v, want >= 1 after the priority-9 arrival", preemptions)
+	}
+	gold := after["gold"] - before["gold"]
+	flood := after["flood"] - before["flood"]
+	scav := after["scav"] - before["scav"]
+	if flood < 4 || gold < 10 {
+		t.Fatalf("fairness window too small to judge: gold=%v flood=%v completions", gold, flood)
+	}
+	if ratio := gold / flood; ratio < 2.5 {
+		t.Errorf("completion ratio gold/flood = %.2f (gold=%v flood=%v), want >= 2.5 at weights 3:1",
+			ratio, gold, flood)
+	}
+	if scav < 1 {
+		t.Errorf("scavenger tenant completed %v jobs in the window, want >= 1 (must not starve)", scav)
+	}
+	if gf := floodRejects.Load(); gf == 0 {
+		t.Error("flood was never rejected — queue was not saturated, fairness window proves nothing")
+	}
+
+	// The flood never took healthz down.
+	stopHealth()
+	healthWG.Wait()
+	if healthChecks.Load() == 0 {
+		t.Fatal("healthz poller never completed a check")
+	}
+	if healthFails.Load() > 0 {
+		t.Errorf("healthz returned non-200 %d/%d times during the flood",
+			healthFails.Load(), healthChecks.Load())
+	}
+
+	// The preempted victim and gold's first job still complete after the
+	// storm.
+	for _, id := range []string{victim.ID, goldFirst.ID} {
+		st, err := c.Wait(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if st.State != service.StateDone {
+			t.Errorf("job %s: state %s after the flood, want done", id, st.State)
+		}
+	}
+	// The victim really was preempted (not just slow).
+	st, err := c.Job(ctx, victim.ID)
+	if err != nil {
+		t.Fatalf("victim: %v", err)
+	}
+	if st.Preemptions < 1 {
+		t.Errorf("victim Preemptions=%d, want >= 1", st.Preemptions)
+	}
+}
