@@ -156,12 +156,16 @@ type scheduler struct {
 	// Brownout: p99 queue wait over threshold for N consecutive windows
 	// escalates level; a good window de-escalates. Priorities <= level
 	// are shed at admission. Level never exceeds MaxPriority-1, so a
-	// priority-9 job is always admissible.
+	// priority-9 job is always admissible. If no window completes for
+	// brownoutIdleDecay (shedding can starve the dequeues that feed the
+	// window), the level decays on the wall clock instead so it cannot
+	// latch permanently.
 	brown      brownoutConfig
 	window     []float64 // queue-wait seconds, current window
 	badWindows int
 	level      int
 	lastP99    float64
+	lastEval   time.Time // wall clock of the last window evaluation
 	shedTotal  int64
 }
 
@@ -253,9 +257,11 @@ func (s *scheduler) retryAfterLocked() time.Duration {
 }
 
 // admit runs the full admission pipeline for a fresh submission:
-// brownout shed, per-tenant depth, global depth, token bucket, and
-// deadline-aware shedding, in that order. The job is not yet visible
-// to any other goroutine.
+// brownout shed, per-tenant depth, global depth, deadline-aware
+// shedding, and the token bucket, in that order. The bucket comes last
+// so a rejection on any other check never burns a quota token for work
+// that was never queued. The job is not yet visible to any other
+// goroutine.
 func (s *scheduler) admit(j *job) error {
 	now := time.Now()
 	s.mu.Lock()
@@ -263,6 +269,7 @@ func (s *scheduler) admit(j *job) error {
 	spec := &j.status.Spec
 	t := s.tenantLocked(spec.Tenant)
 	prio := s.effPriority(t, spec.Priority)
+	s.decayIdleLocked(now)
 	if s.level > 0 && prio <= s.level {
 		t.rejected[RejectShed]++
 		s.shedTotal++
@@ -280,15 +287,15 @@ func (s *scheduler) admit(j *job) error {
 		t.rejected[RejectQueue]++
 		return &RejectError{Class: RejectQueue, Tenant: t.name, Wait: s.retryAfterLocked()}
 	}
-	if ok, wait := t.bucket.take(now); !ok {
-		t.rejected[RejectQuota]++
-		return &RejectError{Class: RejectQuota, Tenant: t.name, Wait: wait}
-	}
 	if spec.MaxDuration > 0 {
 		if est := s.estWaitLocked(s.total); est > time.Duration(spec.MaxDuration) {
 			t.rejected[RejectDeadline]++
 			return &RejectError{Class: RejectDeadline, Tenant: t.name, Wait: est}
 		}
+	}
+	if ok, wait := t.bucket.take(now); !ok {
+		t.rejected[RejectQuota]++
+		return &RejectError{Class: RejectQuota, Tenant: t.name, Wait: wait}
 	}
 	t.submitted++
 	s.pushLocked(t, prio, j, now)
@@ -426,8 +433,15 @@ func (s *scheduler) depth() int {
 }
 
 // observeService folds one completed job's service time into the EWMA
-// and credits the tenant's completion counter.
+// and credits the tenant's completion counter. Incomplete attempts —
+// paused (preempted) partial runs, failures, cancels — are ignored:
+// folding them in would drag the EWMA toward short partial-attempt
+// durations, underestimating queue wait and weakening both Retry-After
+// hints and deadline-aware shedding.
 func (s *scheduler) observeService(tenant string, d time.Duration, completed bool) {
+	if !completed {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	const alpha = 0.2
@@ -437,10 +451,16 @@ func (s *scheduler) observeService(tenant string, d time.Duration, completed boo
 	} else {
 		s.svcEWMA = alpha*sec + (1-alpha)*s.svcEWMA
 	}
-	if completed {
-		s.tenantLocked(tenant).completed++
-	}
+	s.tenantLocked(tenant).completed++
 }
+
+// brownoutIdleDecay bounds how long a shed level can survive without a
+// window evaluation. Windows are fed by dequeues, and shedding itself
+// can cut off the traffic that produces dequeues (e.g. level 5 with
+// all-priority-5 tenants admits nothing, so the window never fills and
+// the level would latch until restart). Past this idle span the level
+// decays on the wall clock instead.
+const brownoutIdleDecay = 5 * time.Second
 
 // noteWaitLocked feeds one dequeue's queue wait into the brownout
 // window. A full window evaluates: p99 over threshold is a bad window,
@@ -454,11 +474,18 @@ func (s *scheduler) noteWaitLocked(w time.Duration) {
 	if len(s.window) < s.brown.window {
 		return
 	}
+	s.evalWindowLocked(time.Now())
+}
+
+// evalWindowLocked scores the current (non-empty, possibly partial)
+// window against the p99 threshold and adjusts the shed level.
+func (s *scheduler) evalWindowLocked(now time.Time) {
 	sorted := append([]float64(nil), s.window...)
 	sort.Float64s(sorted)
 	p99 := sorted[len(sorted)*99/100]
 	s.lastP99 = p99
 	s.window = s.window[:0]
+	s.lastEval = now
 	if p99 > s.brown.p99.Seconds() {
 		s.badWindows++
 		if s.badWindows >= s.brown.windows && s.level < MaxPriority-1 {
@@ -476,10 +503,43 @@ func (s *scheduler) noteWaitLocked(w time.Duration) {
 	}
 }
 
-// brownout reports the current shed level and last evaluated p99.
+// decayIdleLocked de-escalates the shed level when no full window has
+// evaluated within brownoutIdleDecay. A trickle of dequeues too slow to
+// fill a window is scored as a partial window; total silence — which,
+// with shedding active, usually means shedding starved the queue — is
+// treated as a good window. Either way the level cannot latch: it
+// steps down at least once per idle span until traffic admits again.
+func (s *scheduler) decayIdleLocked(now time.Time) {
+	if s.brown.p99 <= 0 || s.level == 0 {
+		return
+	}
+	if s.lastEval.IsZero() {
+		// Level was forced (degraded-mode integration) before any window
+		// evaluated; start the idle clock now.
+		s.lastEval = now
+		return
+	}
+	if now.Sub(s.lastEval) < brownoutIdleDecay {
+		return
+	}
+	if len(s.window) > 0 {
+		s.evalWindowLocked(now)
+		return
+	}
+	s.lastEval = now
+	s.badWindows = 0
+	s.level--
+	s.logf("specd: brownout: no queue-wait samples for %v, decaying shed level to %d",
+		brownoutIdleDecay, s.level)
+}
+
+// brownout reports the current shed level and last evaluated p99,
+// applying the idle decay first so /healthz never reports a level that
+// has latched past its decay deadline.
 func (s *scheduler) brownout() (level int, lastP99 float64, shed int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.decayIdleLocked(time.Now())
 	return s.level, s.lastP99, s.shedTotal
 }
 
@@ -531,6 +591,7 @@ func (s *scheduler) tenantStats() []TenantStats {
 func (s *scheduler) shedTenants() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.decayIdleLocked(time.Now())
 	if s.level == 0 {
 		return nil
 	}

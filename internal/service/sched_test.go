@@ -193,6 +193,73 @@ func TestSchedulerBrownoutEscalation(t *testing.T) {
 	}
 }
 
+// TestSchedulerBrownoutIdleDecay: once shedding blocks all offered
+// traffic, no dequeues feed the evaluation window — the level must
+// decay on the wall clock instead of latching until restart.
+func TestSchedulerBrownoutIdleDecay(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 100,
+		BrownoutP99: 10 * time.Millisecond, BrownoutWindows: 2, BrownoutWindow: 4,
+	})
+	s.setBrownoutLevel(5)
+	// All traffic at the shed level: rejected, and the window never
+	// fills. The first admission also starts the idle-decay clock.
+	err := s.admit(schedJob("t", 5))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectShed {
+		t.Fatalf("admit at level 5: %v, want class %q", err, RejectShed)
+	}
+	// Backdate the last evaluation past the decay span: the next admit
+	// must step the level down and accept rather than shed forever.
+	s.mu.Lock()
+	s.lastEval = time.Now().Add(-brownoutIdleDecay - time.Second)
+	s.mu.Unlock()
+	if err := s.admit(schedJob("t", 5)); err != nil {
+		t.Fatalf("admit after idle span: %v, want level decayed and job admitted", err)
+	}
+	if lvl, _, _ := s.brownout(); lvl != 4 {
+		t.Fatalf("level %d after idle decay, want 4", lvl)
+	}
+}
+
+// TestSchedulerDeadlineRejectKeepsQuota: a deadline-shed rejection must
+// not burn a token for work that was never queued — the next admissible
+// job still has the tenant's full quota.
+func TestSchedulerDeadlineRejectKeepsQuota(t *testing.T) {
+	s := newTestSched(Config{
+		Workers: 1, QueueCap: 100,
+		Tenants: []TenantConfig{{Name: "metered", Rate: 1, Burst: 1}},
+	})
+	s.observeService("t", 1*time.Second, true) // EWMA = 1s per job
+	fill(t, s, "t", 5, 4)                      // 4 ahead -> est wait 4s
+
+	j := schedJob("metered", 5)
+	j.status.Spec.MaxDuration = Duration(2 * time.Second)
+	err := s.admit(j)
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Class != RejectDeadline {
+		t.Fatalf("deadline admit: %v, want class %q", err, RejectDeadline)
+	}
+	// The single burst token survived the rejection.
+	if err := s.admit(schedJob("metered", 5)); err != nil {
+		t.Fatalf("post-rejection admit: %v, want the quota token intact", err)
+	}
+}
+
+// TestSchedulerEWMAIgnoresIncomplete: paused/failed/canceled attempts
+// must not drag the service-time EWMA toward short partial durations.
+func TestSchedulerEWMAIgnoresIncomplete(t *testing.T) {
+	s := newTestSched(Config{Workers: 1, QueueCap: 10})
+	s.observeService("t", 10*time.Second, true)
+	s.observeService("t", time.Millisecond, false) // preempted partial attempt
+	s.mu.Lock()
+	ewma := s.svcEWMA
+	s.mu.Unlock()
+	if ewma != 10 {
+		t.Fatalf("EWMA %.3fs after incomplete sample, want 10s untouched", ewma)
+	}
+}
+
 // TestSchedulerDeadlineShed: when the estimated queue wait exceeds a
 // job's max_duration, admission rejects instead of queueing a job that
 // can only miss its deadline.

@@ -1263,11 +1263,19 @@ func (s *Service) runJob(j *job) {
 	s.runMu.Lock()
 	s.runningSet[j] = struct{}{}
 	s.runMu.Unlock()
+	// detached flips when pauseJob hands the job back to the scheduler:
+	// the pause path removes j from runningSet itself, before requeue,
+	// so another worker re-claiming j cannot have its fresh runningSet
+	// entry deleted by this worker's cleanup (which would hide the new
+	// attempt from maybePreempt's victim scan for its whole run).
+	detached := false
 	defer func() {
-		s.runMu.Lock()
-		delete(s.runningSet, j)
-		s.runMu.Unlock()
-		s.running.Add(-1)
+		if !detached {
+			s.runMu.Lock()
+			delete(s.runningSet, j)
+			s.runMu.Unlock()
+			s.running.Add(-1)
+		}
 		fin := j.snapshot(0)
 		s.sched.observeService(spec.Tenant, time.Since(now), fin.State == StateDone)
 	}()
@@ -1354,6 +1362,15 @@ func (s *Service) runJob(j *job) {
 		s.journalPause(j, delta)
 		delta = delta[:0]
 		s.preemptions.Add(1)
+		// Leave the running set BEFORE requeue: once the job is back in
+		// the scheduler another worker may claim it immediately, and its
+		// new runningSet entry must not be clobbered by this worker's
+		// deferred cleanup (nor s.running transiently overcounted).
+		s.runMu.Lock()
+		delete(s.runningSet, j)
+		s.runMu.Unlock()
+		s.running.Add(-1)
+		detached = true
 		s.sched.requeue(j)
 		s.cfg.Logf("specd: job %s paused for a higher-priority job after %d rounds (attempt %d done, re-queued)",
 			id, progress, attempt)
